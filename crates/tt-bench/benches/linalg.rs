@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the dense-LA substrate at TT-rank-typical
+//! sizes: the `R × R` eigen/SVD problems every bond truncation solves, and
+//! the tall-skinny factorizations of the unfolding kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use tt_linalg::{
+    cholesky, eigh, golub_kahan_svd, householder_qr, jacobi_svd, syrk, Matrix,
+};
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(7)
+}
+
+fn bench_eigh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigh");
+    let mut r = rng();
+    for n in [20usize, 40, 80] {
+        let a = Matrix::gaussian(n + 10, n, &mut r);
+        let g = syrk(&a, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| eigh(g).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    let mut r = rng();
+    for n in [20usize, 40, 80] {
+        let a = Matrix::gaussian(n, n, &mut r);
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
+            b.iter(|| jacobi_svd(a));
+        });
+        group.bench_with_input(BenchmarkId::new("golub_kahan", n), &a, |b, a| {
+            b.iter(|| golub_kahan_svd(a).unwrap());
+        });
+    }
+    // Tall-skinny case, where bidiagonalization's O(mn²) pays off.
+    let a = Matrix::gaussian(4000, 20, &mut r);
+    group.bench_function("jacobi_tall_4000x20", |b| {
+        b.iter(|| jacobi_svd(&a));
+    });
+    group.bench_function("golub_kahan_tall_4000x20", |b| {
+        b.iter(|| golub_kahan_svd(&a).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    let mut r = rng();
+    for (m, n) in [(4000usize, 20usize), (40000, 20)] {
+        let a = Matrix::gaussian(m, n, &mut r);
+        group.bench_with_input(
+            BenchmarkId::new("householder_thin_q", format!("{m}x{n}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let f = householder_qr(a);
+                    (f.thin_q(), f.r())
+                });
+            },
+        );
+        // The Gram alternative for the same task: syrk + small Cholesky —
+        // the flop comparison behind the whole paper.
+        group.bench_with_input(
+            BenchmarkId::new("syrk_chol", format!("{m}x{n}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let g = syrk(a, 1.0);
+                    cholesky(&g).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigh, bench_svd_backends, bench_qr);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! Benchmark harness reproducing the paper's evaluation (§V).
+//!
+//! One binary per table/figure (see DESIGN.md §4 for the index):
+//!
+//! | target   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table I (synthetic models) |
+//! | `fig2`   | Fig. 2a/2b (strong scaling, models 1–2) |
+//! | `fig3`   | Fig. 3a/3b (strong scaling + breakdown, model 3) |
+//! | `fig4`   | Fig. 4 (weak scaling breakdown, model 1) |
+//! | `fig5`   | Fig. 5a/5b (TT-GMRES on the cookies problem) |
+//! | `fig6`   | Fig. 6 (+ §V-D2 true-residual table) |
+//! | `fig7`   | Fig. 7 (weak scaling, model 4) |
+//!
+//! Scaling runs execute one representative rank's real local computation and
+//! price communication with the LogP-style [`tt_comm::CostModel`] — see
+//! DESIGN.md §2 for why this preserves the paper's comparisons on a
+//! single-core machine. Every binary prints the machine parameters it used.
+
+use std::time::Instant;
+
+use tt_comm::{Communicator, CostModel, ModelComm};
+use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
+use tt_core::synthetic::ModelSpec;
+use tt_core::{GramOrder, RoundReport, RoundingOptions, TtTensor};
+
+/// The four rounding algorithms compared throughout §V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// TT-Rounding via orthogonalization (Alg. 2) — the baseline.
+    Qr,
+    /// Gram SVD, sequence, RLR ordering (Alg. 6).
+    GramRlr,
+    /// Gram SVD, sequence, LRL ordering.
+    GramLrl,
+    /// Gram SVD, simultaneous (Alg. 5).
+    GramSim,
+}
+
+/// All four variants, in the paper's plotting order.
+pub const ALL_VARIANTS: [Variant; 4] = [
+    Variant::Qr,
+    Variant::GramSim,
+    Variant::GramRlr,
+    Variant::GramLrl,
+];
+
+impl Variant {
+    /// Legend name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Qr => "TT-Round-QR",
+            Variant::GramRlr => "Gram-RLR",
+            Variant::GramLrl => "Gram-LRL",
+            Variant::GramSim => "Gram-Sim",
+        }
+    }
+
+    /// Runs the variant on a (local) tensor against the given communicator.
+    pub fn round(
+        &self,
+        comm: &impl Communicator,
+        x: &TtTensor,
+        opts: &RoundingOptions,
+    ) -> (TtTensor, RoundReport) {
+        match self {
+            Variant::Qr => round_qr_dist(comm, x, opts),
+            Variant::GramRlr => round_gram_seq_dist(comm, x, opts, GramOrder::Rlr),
+            Variant::GramLrl => round_gram_seq_dist(comm, x, opts, GramOrder::Lrl),
+            Variant::GramSim => round_gram_sim_dist(comm, x, opts),
+        }
+    }
+}
+
+/// One timed rounding run at a given rank count.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Rank count `P`.
+    pub p: usize,
+    /// Measured per-rank local compute seconds (min over trials).
+    pub compute_s: f64,
+    /// Modeled communication seconds.
+    pub comm_s: f64,
+}
+
+impl TimedRun {
+    /// Total modeled wall time.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// The maximum local mode dimensions over all ranks (`⌈I_k/P⌉`): the
+/// critical-path rank that gates every collective.
+pub fn max_local_dims(dims: &[usize], p: usize) -> Vec<usize> {
+    dims.iter().map(|&d| d.div_ceil(p)).collect()
+}
+
+/// Executes one representative rank's rounding work for `spec` at `p` ranks
+/// and returns measured compute + modeled communication.
+///
+/// The tensor is the Table-I redundant construction (rank 20 → 10) on the
+/// *local* mode dimensions, and rounding runs with the target-rank cap so
+/// the executed instruction stream matches a real distributed run exactly.
+pub fn run_scaling_point(
+    spec: &ModelSpec,
+    p: usize,
+    variant: Variant,
+    model: &CostModel,
+    trials: usize,
+    seed: u64,
+) -> TimedRun {
+    let local_dims = max_local_dims(&spec.dims, p);
+    run_scaling_point_dims(
+        &local_dims,
+        spec.target_rank,
+        p,
+        variant,
+        model,
+        trials,
+        seed,
+    )
+}
+
+/// Same as [`run_scaling_point`] but with explicit local dimensions (used by
+/// the weak-scaling harnesses).
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaling_point_dims(
+    local_dims: &[usize],
+    target_rank: usize,
+    p: usize,
+    variant: Variant,
+    model: &CostModel,
+    trials: usize,
+    seed: u64,
+) -> TimedRun {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let x = tt_core::synthetic::generate_redundant(local_dims, target_rank, &mut rng);
+    let opts = RoundingOptions::with_tolerance(1e-8).max_rank(target_rank);
+
+    let mut best_compute = f64::INFINITY;
+    let mut comm_s = 0.0;
+    for _ in 0..trials.max(1) {
+        let comm = ModelComm::new(p);
+        let t0 = Instant::now();
+        let (_y, _report) = variant.round(&comm, &x, &opts);
+        let dt = t0.elapsed().as_secs_f64();
+        best_compute = best_compute.min(dt);
+        comm_s = comm.stats().modeled_time(model, p);
+    }
+    TimedRun {
+        p,
+        compute_s: best_compute,
+        comm_s,
+    }
+}
+
+/// Calibrates γ (seconds per flop) from a GEMM probe, so modeled compute
+/// numbers printed alongside measurements refer to this machine.
+pub fn calibrate_gamma() -> f64 {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let n = 256;
+    let a = tt_linalg::Matrix::gaussian(n, n, &mut rng);
+    let b = tt_linalg::Matrix::gaussian(n, n, &mut rng);
+    // warm-up + 3 timed reps
+    let _ = tt_linalg::gemm(tt_linalg::Trans::No, &a, tt_linalg::Trans::No, &b, 1.0);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let c = tt_linalg::gemm(tt_linalg::Trans::No, &a, tt_linalg::Trans::No, &b, 1.0);
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&c);
+    }
+    best / tt_linalg::gemm::gemm_flops(n, n, n)
+}
+
+/// Builds the default cost model with γ calibrated on this machine.
+pub fn calibrated_model() -> CostModel {
+    let mut m = CostModel::default();
+    m.gamma = calibrate_gamma();
+    m
+}
+
+/// Prints the cost-model banner every harness emits.
+pub fn print_model_banner(model: &CostModel) {
+    println!(
+        "# cost model: alpha = {:.2e} s/msg, beta = {:.2e} s/word, gamma = {:.2e} s/flop ({:.2} Gflop/s)",
+        model.alpha,
+        model.beta,
+        model.gamma,
+        1e-9 / model.gamma
+    );
+    println!("# compute times are MEASURED on this machine (one representative rank's");
+    println!("# real local work); communication times are MODELED (see DESIGN.md #2).");
+}
+
+/// Tiny `--key value` argument parser for the harness binaries.
+pub struct Args {
+    args: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Args {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--key`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        let flag = format!("--{key}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Whether the bare flag `--key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        let flag = format!("--{key}");
+        self.args.iter().any(|a| a == &flag)
+    }
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:8.3} s")
+    } else if s >= 1e-3 {
+        format!("{:8.3} ms", s * 1e3)
+    } else {
+        format!("{:8.3} µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_local_dims_is_ceiling() {
+        assert_eq!(max_local_dims(&[10, 20, 7], 4), vec![3, 5, 2]);
+        assert_eq!(max_local_dims(&[10], 1), vec![10]);
+        assert_eq!(max_local_dims(&[5], 8), vec![1]);
+    }
+
+    #[test]
+    fn scaling_point_runs_all_variants() {
+        let model = CostModel::default();
+        let spec = ModelSpec::table1(4).scaled(0.01);
+        for v in ALL_VARIANTS {
+            let run = run_scaling_point(&spec, 8, v, &model, 1, 1);
+            assert!(run.compute_s > 0.0, "{v:?}");
+            assert!(run.comm_s > 0.0, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn comm_grows_with_p_compute_shrinks() {
+        let model = CostModel::default();
+        let spec = ModelSpec::table1(1).scaled(0.05);
+        let a = run_scaling_point(&spec, 1, Variant::GramLrl, &model, 1, 2);
+        let b = run_scaling_point(&spec, 64, Variant::GramLrl, &model, 1, 2);
+        assert_eq!(a.comm_s, 0.0, "P=1 has no communication");
+        assert!(b.comm_s > 0.0);
+        assert!(b.compute_s < a.compute_s, "local work must shrink with P");
+    }
+
+    #[test]
+    fn qr_variant_records_more_bandwidth_than_gram() {
+        // The headline communication claim: TSQR bandwidth carries log P.
+        let model = CostModel::default();
+        let spec = ModelSpec::table1(1).scaled(0.02);
+        let q = run_scaling_point(&spec, 256, Variant::Qr, &model, 1, 3);
+        let g = run_scaling_point(&spec, 256, Variant::GramLrl, &model, 1, 3);
+        assert!(
+            q.comm_s > g.comm_s,
+            "QR comm {} must exceed Gram comm {}",
+            q.comm_s,
+            g.comm_s
+        );
+    }
+
+    #[test]
+    fn args_parse() {
+        let a = Args {
+            args: vec!["--model".into(), "2".into(), "--verbose".into()],
+        };
+        assert_eq!(a.get::<usize>("model"), Some(2));
+        assert_eq!(a.get::<f64>("missing"), None);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Simulated distributed-memory runtime.
+//!
+//! The paper's implementation runs flat MPI (one rank per core) on the Andes
+//! cluster, with all communication in the Gram-SVD rounding path cast as
+//! `MPI_Allreduce` and the QR-based baseline using the TSQR reduction tree.
+//! This crate substitutes for MPI with two cooperating layers:
+//!
+//! * [`Communicator`] — the MPI-analog interface the TT algorithms are
+//!   written against (point-to-point send/recv plus the collectives the
+//!   algorithms use), with
+//!   * [`ThreadComm`]: a real shared-memory backend executing `P` ranks as
+//!     OS threads with binomial-tree collectives, used to validate that the
+//!     distributed algorithms compute exactly what the sequential ones do;
+//!   * [`SelfComm`]: the trivial single-rank communicator;
+//!   * [`ModelComm`]: a single-thread "rank 0 of P" harness backend that
+//!     executes one representative rank's local work for performance
+//!     studies (see [`cost`]).
+//! * [`cost`] — a LogP-style analytic cost model (α latency, β per-word,
+//!   γ per-flop) with per-rank instrumentation, used to produce the modeled
+//!   communication times in the scaling figures. The model is the same one
+//!   the paper's complexity analysis (§IV-E) uses.
+//!
+//! Every communicator records the collectives it performs ([`CommStats`]),
+//! so harnesses can report computation/communication breakdowns.
+
+pub mod cost;
+pub mod thread;
+
+pub use cost::{CollectiveKind, CommStats, CostModel};
+pub use thread::ThreadComm;
+
+/// MPI-analog communication interface used by the distributed TT kernels.
+///
+/// All collectives operate on `f64` buffers and must be called by every rank
+/// of the communicator (SPMD style), like their MPI counterparts.
+pub trait Communicator {
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Element-wise global sum; every rank ends with the reduced buffer
+    /// (MPI_Allreduce with MPI_SUM).
+    fn allreduce_sum(&self, buf: &mut [f64]);
+
+    /// Element-wise global max; every rank ends with the reduced buffer.
+    fn allreduce_max(&self, buf: &mut [f64]);
+
+    /// Broadcast `buf` from `root` to all ranks.
+    fn broadcast(&self, root: usize, buf: &mut [f64]);
+
+    /// Gathers every rank's buffer (arbitrary, possibly differing lengths)
+    /// and returns the concatenation in rank order on every rank
+    /// (MPI_Allgatherv).
+    fn allgather(&self, send: &[f64]) -> Vec<f64>;
+
+    /// Blocking point-to-point send (used by the TSQR tree).
+    fn send(&self, to: usize, buf: &[f64]);
+
+    /// Blocking point-to-point receive of a message from `from`.
+    fn recv(&self, from: usize) -> Vec<f64>;
+
+    /// Synchronization barrier.
+    fn barrier(&self);
+
+    /// Snapshot of the communication events this rank has performed.
+    fn stats(&self) -> CommStats;
+
+    /// Resets the event counters.
+    fn reset_stats(&self);
+
+    /// True for performance-model backends ([`ModelComm`]): algorithms with
+    /// data-dependent communication (TSQR trees) take a model-aware path
+    /// that executes one rank's computation and records the messages.
+    fn is_model(&self) -> bool {
+        false
+    }
+
+    /// Manually records a communication event (used by model-aware code
+    /// paths for communication the backend does not itself perform).
+    fn record_event(&self, kind: CollectiveKind, words: usize) {
+        let _ = (kind, words);
+    }
+}
+
+/// The trivial single-rank communicator: every collective is a no-op.
+/// Sequential algorithm runs use this, so one code path serves both the
+/// sequential and distributed implementations.
+#[derive(Debug, Default)]
+pub struct SelfComm {
+    stats: std::cell::RefCell<CommStats>,
+}
+
+impl SelfComm {
+    /// Creates a fresh single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        1
+    }
+    fn allreduce_sum(&self, _buf: &mut [f64]) {}
+    fn allreduce_max(&self, _buf: &mut [f64]) {}
+    fn broadcast(&self, _root: usize, _buf: &mut [f64]) {}
+    fn allgather(&self, send: &[f64]) -> Vec<f64> {
+        send.to_vec()
+    }
+    fn send(&self, _to: usize, _buf: &[f64]) {
+        panic!("SelfComm has a single rank; point-to-point send is a bug");
+    }
+    fn recv(&self, _from: usize) -> Vec<f64> {
+        panic!("SelfComm has a single rank; point-to-point recv is a bug");
+    }
+    fn barrier(&self) {}
+    fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+/// A performance-study communicator: executes as a single thread that plays
+/// the role of rank 0 in a `P`-rank job.
+///
+/// Collectives leave the local buffer untouched (numerically this yields one
+/// rank's *contribution* rather than the global sum — performance harnesses
+/// run with fixed target ranks so the executed instruction stream is
+/// identical to a real run) but are *recorded* with their true sizes, so the
+/// cost model can price the communication exactly as the real job would
+/// perform it.
+#[derive(Debug)]
+pub struct ModelComm {
+    size: usize,
+    stats: std::cell::RefCell<CommStats>,
+}
+
+impl ModelComm {
+    /// Creates a model communicator pretending to be rank 0 of `size` ranks.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1);
+        ModelComm {
+            size,
+            stats: std::cell::RefCell::new(CommStats::default()),
+        }
+    }
+}
+
+impl Communicator for ModelComm {
+    fn rank(&self) -> usize {
+        0
+    }
+    fn size(&self) -> usize {
+        self.size
+    }
+    fn allreduce_sum(&self, buf: &mut [f64]) {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allreduce, buf.len());
+    }
+    fn allreduce_max(&self, buf: &mut [f64]) {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allreduce, buf.len());
+    }
+    fn broadcast(&self, _root: usize, buf: &mut [f64]) {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Broadcast, buf.len());
+    }
+    fn allgather(&self, send: &[f64]) -> Vec<f64> {
+        // One representative rank: record the full gathered volume, return
+        // P copies of the local contribution (correct sizes, modeled data).
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allgather, send.len() * self.size);
+        let mut out = Vec::with_capacity(send.len() * self.size);
+        for _ in 0..self.size {
+            out.extend_from_slice(send);
+        }
+        out
+    }
+    fn send(&self, _to: usize, buf: &[f64]) {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::PointToPoint, buf.len());
+    }
+    fn recv(&self, _from: usize) -> Vec<f64> {
+        panic!(
+            "ModelComm cannot satisfy a data-dependent recv; \
+             TSQR-style trees must use their model-aware code path"
+        );
+    }
+    fn barrier(&self) {}
+    fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+    fn is_model(&self) -> bool {
+        true
+    }
+    fn record_event(&self, kind: CollectiveKind, words: usize) {
+        self.stats.borrow_mut().record(kind, words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_comm_is_identity() {
+        let c = SelfComm::new();
+        let mut buf = vec![1.0, 2.0];
+        c.allreduce_sum(&mut buf);
+        assert_eq!(buf, vec![1.0, 2.0]);
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn model_comm_records_events() {
+        let c = ModelComm::new(16);
+        let mut buf = vec![0.0; 100];
+        c.allreduce_sum(&mut buf);
+        c.allreduce_sum(&mut buf);
+        c.broadcast(0, &mut buf[..10]);
+        let s = c.stats();
+        assert_eq!(s.count(CollectiveKind::Allreduce), 2);
+        assert_eq!(s.words(CollectiveKind::Allreduce), 200);
+        assert_eq!(s.count(CollectiveKind::Broadcast), 1);
+        c.reset_stats();
+        assert_eq!(c.stats().total_messages(), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Thread-backed communicator: `P` ranks as OS threads.
+//!
+//! This backend exists to *validate* the distributed algorithms — the
+//! binomial reduce/broadcast trees perform the same data movement an MPI
+//! implementation would, so integration tests can assert that the
+//! distributed rounding variants agree with their sequential counterparts.
+//! (On a multi-core machine it also yields real speedup; scaling *studies*
+//! use the analytic model in [`crate::cost`] instead, see DESIGN.md.)
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::cost::{CollectiveKind, CommStats};
+use crate::Communicator;
+
+/// One rank's endpoint of a `P`-rank thread communicator.
+///
+/// Handles are created in bulk with [`ThreadComm::create`] and moved into
+/// their threads; [`ThreadComm::run`] wraps the whole spawn/join dance.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    /// `senders[to]` feeds rank `to`'s mailbox for messages from us.
+    senders: Vec<Sender<Vec<f64>>>,
+    /// `receivers[from]` drains our mailbox for messages from `from`.
+    receivers: Vec<Receiver<Vec<f64>>>,
+    barrier: Arc<std::sync::Barrier>,
+    stats: RefCell<CommStats>,
+}
+
+impl ThreadComm {
+    /// Creates the `p` connected endpoints of a new communicator.
+    pub fn create(p: usize) -> Vec<ThreadComm> {
+        assert!(p >= 1);
+        // mesh[from][to]
+        let mut senders_by_from: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(p);
+        let mut receivers_by_to: Vec<Vec<Receiver<Vec<f64>>>> =
+            (0..p).map(|_| Vec::new()).collect();
+        for _from in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for to in 0..p {
+                let (s, r) = unbounded();
+                row.push(s);
+                receivers_by_to[to].push(r);
+            }
+            senders_by_from.push(row);
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(p));
+        senders_by_from
+            .into_iter()
+            .zip(receivers_by_to)
+            .enumerate()
+            .map(|(rank, (senders, receivers))| ThreadComm {
+                rank,
+                size: p,
+                senders,
+                receivers,
+                barrier: Arc::clone(&barrier),
+                stats: RefCell::new(CommStats::default()),
+            })
+            .collect()
+    }
+
+    /// Runs `f` as an SPMD program on `p` ranks (threads), returning each
+    /// rank's result in rank order.
+    pub fn run<R, F>(p: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::create(p);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| {
+                    let f = &f;
+                    scope.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SPMD rank panicked"))
+                .collect()
+        })
+    }
+
+    fn raw_send(&self, to: usize, buf: &[f64]) {
+        self.senders[to].send(buf.to_vec()).expect("peer hung up");
+    }
+
+    fn raw_recv(&self, from: usize) -> Vec<f64> {
+        self.receivers[from].recv().expect("peer hung up")
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Binomial-tree reduce to rank 0 followed by a binomial broadcast —
+    /// the same `O(log P)` data movement an MPI allreduce performs.
+    fn allreduce_sum(&self, buf: &mut [f64]) {
+        self.reduce_with(buf, |acc, inc| {
+            for (a, b) in acc.iter_mut().zip(inc.iter()) {
+                *a += b;
+            }
+        });
+        self.broadcast_internal(0, buf);
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allreduce, buf.len());
+    }
+
+    fn allreduce_max(&self, buf: &mut [f64]) {
+        self.reduce_with(buf, |acc, inc| {
+            for (a, b) in acc.iter_mut().zip(inc.iter()) {
+                if *b > *a {
+                    *a = *b;
+                }
+            }
+        });
+        self.broadcast_internal(0, buf);
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allreduce, buf.len());
+    }
+
+    fn broadcast(&self, root: usize, buf: &mut [f64]) {
+        self.broadcast_internal(root, buf);
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Broadcast, buf.len());
+    }
+
+    /// Gather-to-root + broadcast (binomial trees on both legs), supporting
+    /// per-rank payload lengths (MPI_Allgatherv semantics).
+    fn allgather(&self, send: &[f64]) -> Vec<f64> {
+        let p = self.size;
+        let mut gathered: Vec<f64>;
+        if self.rank == 0 {
+            let mut parts: Vec<Vec<f64>> = Vec::with_capacity(p);
+            parts.push(send.to_vec());
+            for from in 1..p {
+                parts.push(self.raw_recv(from));
+            }
+            gathered = parts.concat();
+        } else {
+            self.raw_send(0, send);
+            gathered = Vec::new();
+        }
+        // Broadcast the total length, then the payload.
+        let mut len_buf = [gathered.len() as f64];
+        self.broadcast_internal(0, &mut len_buf);
+        let total = len_buf[0] as usize;
+        gathered.resize(total, 0.0);
+        self.broadcast_internal(0, &mut gathered);
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allgather, total);
+        gathered
+    }
+
+    fn send(&self, to: usize, buf: &[f64]) {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::PointToPoint, buf.len());
+        self.raw_send(to, buf);
+    }
+
+    fn recv(&self, from: usize) -> Vec<f64> {
+        self.raw_recv(from)
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    fn reset_stats(&self) {
+        *self.stats.borrow_mut() = CommStats::default();
+    }
+}
+
+impl ThreadComm {
+    /// Binomial-tree reduction to rank 0 with a custom combiner.
+    fn reduce_with(&self, buf: &mut [f64], combine: impl Fn(&mut [f64], &[f64])) {
+        let p = self.size;
+        let rank = self.rank;
+        let mut mask = 1;
+        while mask < p {
+            if rank & mask != 0 {
+                self.raw_send(rank - mask, buf);
+                break;
+            } else if rank + mask < p {
+                let inc = self.raw_recv(rank + mask);
+                combine(buf, &inc);
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root` (standard MPICH virtual-rank
+    /// formulation), without recording a stats event.
+    fn broadcast_internal(&self, root: usize, buf: &mut [f64]) {
+        let p = self.size;
+        if p == 1 {
+            return;
+        }
+        let vrank = (self.rank + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let vsrc = vrank - mask;
+                let src = (vsrc + root) % p;
+                let data = self.raw_recv(src);
+                buf.copy_from_slice(&data);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank & (mask - 1) == 0 && vrank & mask == 0 && vrank + mask < p {
+                let vdst = vrank + mask;
+                let dst = (vdst + root) % p;
+                self.raw_send(dst, buf);
+            }
+            mask >>= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            let results = ThreadComm::run(p, |comm| {
+                let mut buf = vec![comm.rank() as f64 + 1.0, 10.0 * (comm.rank() as f64 + 1.0)];
+                comm.allreduce_sum(&mut buf);
+                buf
+            });
+            let expect0: f64 = (1..=p).map(|r| r as f64).sum();
+            for r in results {
+                assert_eq!(r[0], expect0, "p={p}");
+                assert_eq!(r[1], 10.0 * expect0, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_across_ranks() {
+        for p in [2usize, 3, 7] {
+            let results = ThreadComm::run(p, |comm| {
+                let mut buf = vec![-(comm.rank() as f64), comm.rank() as f64];
+                comm.allreduce_max(&mut buf);
+                buf
+            });
+            for r in results {
+                assert_eq!(r[0], 0.0);
+                assert_eq!(r[1], (p - 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [2usize, 3, 4, 6] {
+            for root in 0..p {
+                let results = ThreadComm::run(p, |comm| {
+                    let mut buf = if comm.rank() == root {
+                        vec![42.0, root as f64]
+                    } else {
+                        vec![0.0, 0.0]
+                    };
+                    comm.broadcast(root, &mut buf);
+                    buf
+                });
+                for r in results {
+                    assert_eq!(r, vec![42.0, root as f64], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let p = 4;
+        let results = ThreadComm::run(p, |comm| {
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            comm.send(next, &[comm.rank() as f64]);
+            comm.recv(prev)[0]
+        });
+        assert_eq!(results, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        for p in [1usize, 2, 3, 5] {
+            let results = ThreadComm::run(p, |comm| {
+                // Variable-length payloads: rank r contributes r+1 values.
+                let send: Vec<f64> = (0..comm.rank() + 1).map(|i| (comm.rank() * 10 + i) as f64).collect();
+                comm.allgather(&send)
+            });
+            let expect: Vec<f64> = (0..p)
+                .flat_map(|r| (0..r + 1).map(move |i| (r * 10 + i) as f64))
+                .collect();
+            for r in results {
+                assert_eq!(r, expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = ThreadComm::run(5, |comm| {
+            comm.barrier();
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_are_per_rank() {
+        let results = ThreadComm::run(3, |comm| {
+            let mut buf = vec![1.0; 10];
+            comm.allreduce_sum(&mut buf);
+            comm.stats().count(CollectiveKind::Allreduce)
+        });
+        assert_eq!(results, vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the thread-backed collectives: results must match the
+//! sequential reductions exactly for arbitrary rank counts and payloads.
+
+use proptest::prelude::*;
+use tt_comm::{Communicator, ThreadComm};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Allreduce-sum across P ranks equals the serial sum of contributions.
+    #[test]
+    fn allreduce_sum_correct(p in 1usize..=6, len in 1usize..40, seed in any::<u32>()) {
+        // Deterministic per-rank contributions.
+        let contribution = |rank: usize, i: usize| -> f64 {
+            (((seed as usize).wrapping_mul(31) + rank * 101 + i * 7) % 1000) as f64 - 500.0
+        };
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..p).map(|r| contribution(r, i)).sum())
+            .collect();
+        let results = ThreadComm::run(p, |comm| {
+            let mut buf: Vec<f64> = (0..len).map(|i| contribution(comm.rank(), i)).collect();
+            comm.allreduce_sum(&mut buf);
+            buf
+        });
+        for r in results {
+            for (a, b) in r.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    /// Allreduce-max across P ranks equals the serial max.
+    #[test]
+    fn allreduce_max_correct(p in 1usize..=6, len in 1usize..20, seed in any::<u32>()) {
+        let contribution = |rank: usize, i: usize| -> f64 {
+            (((seed as usize).wrapping_mul(17) + rank * 59 + i * 13) % 997) as f64
+        };
+        let expected: Vec<f64> = (0..len)
+            .map(|i| (0..p).map(|r| contribution(r, i)).fold(f64::MIN, f64::max))
+            .collect();
+        let results = ThreadComm::run(p, |comm| {
+            let mut buf: Vec<f64> = (0..len).map(|i| contribution(comm.rank(), i)).collect();
+            comm.allreduce_max(&mut buf);
+            buf
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// Broadcast delivers the root's buffer verbatim to all ranks.
+    #[test]
+    fn broadcast_correct(p in 1usize..=6, root_pick in any::<usize>(), len in 1usize..30) {
+        let root = root_pick % p;
+        let payload: Vec<f64> = (0..len).map(|i| i as f64 * 1.5 - 3.0).collect();
+        let expected = payload.clone();
+        let results = ThreadComm::run(p, |comm| {
+            let mut buf = if comm.rank() == root { payload.clone() } else { vec![0.0; len] };
+            comm.broadcast(root, &mut buf);
+            buf
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    /// Allgather returns the rank-ordered concatenation on every rank.
+    #[test]
+    fn allgather_correct(p in 1usize..=6, base_len in 1usize..10) {
+        let expect: Vec<f64> = (0..p)
+            .flat_map(|r| (0..base_len + r).map(move |i| (r * 100 + i) as f64))
+            .collect();
+        let results = ThreadComm::run(p, |comm| {
+            let send: Vec<f64> =
+                (0..base_len + comm.rank()).map(|i| (comm.rank() * 100 + i) as f64).collect();
+            comm.allgather(&send)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// Chained collectives don't interleave payloads (ordering safety).
+    #[test]
+    fn repeated_collectives_stay_ordered(p in 2usize..=5, rounds in 1usize..6) {
+        let results = ThreadComm::run(p, |comm| {
+            let mut out = Vec::new();
+            for round in 0..rounds {
+                let mut buf = vec![(comm.rank() + round) as f64];
+                comm.allreduce_sum(&mut buf);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for r in &results {
+            for (round, &v) in r.iter().enumerate() {
+                let expect: f64 = (0..p).map(|rk| (rk + round) as f64).sum();
+                prop_assert_eq!(v, expect);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! TT-Rounding algorithms.
+//!
+//! * [`qr`] — the baseline: TT-Rounding via orthogonalization (Alg. 2),
+//!   parallelized with TSQR exactly as in Al Daas–Ballard–Benner [25].
+//! * [`gram`] — the paper's contribution: TT-Rounding via Gram SVD, in the
+//!   *simultaneous* (Alg. 5) and *sequence* (Alg. 6) variants, the latter in
+//!   both RLR (right-to-left Gram sweep, left-to-right truncation) and LRL
+//!   orderings.
+//!
+//! Every algorithm is written once against [`tt_comm::Communicator`] and
+//! operates on the local block of the 1-D-distributed tensor; with
+//! [`tt_comm::SelfComm`] it *is* the sequential algorithm. The top-level
+//! functions here are the sequential conveniences.
+
+pub mod gram;
+pub mod qr;
+pub mod random;
+pub mod truncate;
+pub mod tsqr;
+
+pub use gram::{
+    gram_sweep_left, gram_sweep_right, gram_sweep_right_symmetric, round_gram_seq_dist,
+    round_gram_sim_dist,
+};
+pub use qr::round_qr_dist;
+pub use random::{round_randomized, round_randomized_dist, RandomizedOptions};
+pub use truncate::{BondTruncation, SingularSide};
+pub use tsqr::tsqr;
+
+use crate::tensor::TtTensor;
+use tt_comm::SelfComm;
+
+/// Options controlling a rounding call.
+#[derive(Debug, Clone)]
+pub struct RoundingOptions {
+    /// Relative accuracy ε: the result satisfies
+    /// `‖X − Y‖ ≤ ε‖X‖` (up to the Gram-SVD accuracy caveat of §II-B).
+    pub tolerance: f64,
+    /// Optional hard cap on every truncated rank (applied after the
+    /// ε criterion). Scaling studies use this to pin the work.
+    pub max_rank: Option<usize>,
+}
+
+impl RoundingOptions {
+    /// Tolerance-only options.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        RoundingOptions {
+            tolerance,
+            max_rank: None,
+        }
+    }
+
+    /// Adds a hard rank cap.
+    pub fn max_rank(mut self, r: usize) -> Self {
+        self.max_rank = Some(r);
+        self
+    }
+}
+
+impl Default for RoundingOptions {
+    fn default() -> Self {
+        RoundingOptions {
+            tolerance: 1e-10,
+            max_rank: None,
+        }
+    }
+}
+
+/// Gram-sweep ordering for the sequence variant (Alg. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GramOrder {
+    /// Right-to-left Gram sweep, then left-to-right truncation (paper RLR).
+    Rlr,
+    /// Left-to-right Gram sweep, then right-to-left truncation (paper LRL).
+    Lrl,
+}
+
+/// Diagnostics of one rounding call.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// `‖X‖` as computed by the algorithm (from `G₀ᴿ`/`G_Nᴸ` for the Gram
+    /// variants, from the orthogonalized last core for QR).
+    pub norm: f64,
+    /// Rank chain before rounding.
+    pub ranks_before: Vec<usize>,
+    /// Rank chain after rounding.
+    pub ranks_after: Vec<usize>,
+    /// Per-bond truncation records, in the order the bonds were processed.
+    pub truncations: Vec<truncate::BondTruncation>,
+}
+
+impl RoundReport {
+    /// Upper bound on the rounding error accumulated over all bonds:
+    /// `√(Σ discarded²)` (each bond discards at most ε₀ = ε‖X‖/√(N−1)).
+    pub fn discarded_norm(&self) -> f64 {
+        self.truncations
+            .iter()
+            .map(|t| t.discarded * t.discarded)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Sequential TT-Rounding via Gram SVD, sequence variant, RLR ordering
+/// (Alg. 6 as printed).
+pub fn round_gram_rlr(x: &TtTensor, tolerance: f64) -> TtTensor {
+    round_gram_seq_dist(
+        &SelfComm::new(),
+        x,
+        &RoundingOptions::with_tolerance(tolerance),
+        GramOrder::Rlr,
+    )
+    .0
+}
+
+/// Sequential TT-Rounding via Gram SVD, sequence variant, LRL ordering.
+pub fn round_gram_lrl(x: &TtTensor, tolerance: f64) -> TtTensor {
+    round_gram_seq_dist(
+        &SelfComm::new(),
+        x,
+        &RoundingOptions::with_tolerance(tolerance),
+        GramOrder::Lrl,
+    )
+    .0
+}
+
+/// Sequential TT-Rounding via Gram SVD, simultaneous variant (Alg. 5).
+pub fn round_gram_simultaneous(x: &TtTensor, tolerance: f64) -> TtTensor {
+    round_gram_sim_dist(
+        &SelfComm::new(),
+        x,
+        &RoundingOptions::with_tolerance(tolerance),
+    )
+    .0
+}
+
+/// Sequential TT-Rounding via orthogonalization (Alg. 2), the baseline.
+pub fn round_qr(x: &TtTensor, tolerance: f64) -> TtTensor {
+    round_qr_dist(
+        &SelfComm::new(),
+        x,
+        &RoundingOptions::with_tolerance(tolerance),
+    )
+    .0
+}

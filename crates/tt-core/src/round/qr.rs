@@ -1,0 +1,225 @@
+//! TT-Rounding via orthogonalization — Algorithm 2, the baseline.
+//!
+//! The standard two-phase rounding of Oseledets [4] as parallelized by
+//! Al Daas–Ballard–Benner [25]: a left-to-right orthogonalization sweep of
+//! QR factorizations (TSQR on the row-distributed vertical unfoldings),
+//! followed by a right-to-left truncation sweep of QR + truncated SVD on the
+//! transposed horizontal unfoldings. This is the algorithm the Gram-SVD
+//! variants are measured against throughout §V.
+
+use crate::core::TtCore;
+use crate::round::gram::{postmult_v, premult_h};
+use crate::round::truncate::BondTruncation;
+use crate::round::tsqr::tsqr;
+use crate::round::{RoundReport, RoundingOptions};
+use crate::tensor::TtTensor;
+use tt_comm::Communicator;
+use tt_linalg::{gemm, tsvd, Trans};
+
+/// TT-Rounding via orthogonalization (Alg. 2), distributed.
+///
+/// `x` is this rank's local block (the full tensor under
+/// [`tt_comm::SelfComm`]).
+pub fn round_qr_dist(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    opts: &RoundingOptions,
+) -> (TtTensor, RoundReport) {
+    let n = x.order();
+    let ranks_before = x.ranks();
+    if n == 1 {
+        let norm = crate::dist::norm_local(comm, x);
+        return (
+            x.clone(),
+            RoundReport {
+                norm,
+                ranks_before: ranks_before.clone(),
+                ranks_after: ranks_before,
+                truncations: vec![],
+            },
+        );
+    }
+
+    let mut y = x.clone();
+
+    // ---- Phase 1: left-to-right orthogonalization (lines 3–6). ----
+    for k in 0..n - 1 {
+        let core = y.core(k);
+        let (r0, i, r1) = (core.r0(), core.mode_dim(), core.r1());
+        // TSQR pads internally, so Q keeps all r1 columns and R is r1×r1:
+        // the right rank is unchanged by orthogonalization.
+        let (q, r) = tsqr(comm, &core.v_matrix());
+        *y.core_mut(k) = TtCore::from_v(q, r0, i, r1);
+        *y.core_mut(k + 1) = premult_h(y.core(k + 1), &r);
+    }
+
+    // ---- Norm from the orthogonalized last core (line 7). ----
+    let last = y.core(n - 1);
+    let mut norm2 = [last.fro_norm().powi(2)];
+    comm.allreduce_sum(&mut norm2);
+    let norm = norm2[0].max(0.0).sqrt();
+    let eps0 = norm * opts.tolerance / ((n - 1) as f64).sqrt();
+
+    // ---- Phase 2: right-to-left truncation (lines 8–13). ----
+    let mut truncations = Vec::with_capacity(n - 1);
+    for k in (1..n).rev() {
+        let core = y.core(k);
+        let (r0, i, r1) = (core.r0(), core.mode_dim(), core.r1());
+        // QR of H(T)ᵀ — the local block is this core's (i·r1) × r0
+        // transposed horizontal unfolding.
+        let ht = core.h().transposed();
+        let (q, r) = tsqr(comm, &ht);
+        // TSVD of the replicated small R (line 10), redundantly on every
+        // rank; truncation rank L.
+        let mut t = tsvd(&r, eps0);
+        let mut discarded = t.discarded_norm;
+        if let Some(cap) = opts.max_rank {
+            if t.rank() > cap {
+                let extra: f64 = t.singular_values[cap..].iter().map(|s| s * s).sum();
+                discarded = (discarded * discarded + extra).sqrt();
+                t.u = t.u.truncate_cols(cap);
+                t.v = t.v.truncate_cols(cap);
+                t.singular_values.truncate(cap);
+            }
+        }
+        let l = t.rank();
+        truncations.push(BondTruncation {
+            bond: k,
+            rank_before: r0,
+            rank_after: l,
+            discarded,
+            sigma_max: t.singular_values.first().copied().unwrap_or(0.0),
+        });
+
+        // Line 11: H(T_Y,k)ᵀ = Q Û — local rows, replicated Û.
+        let new_ht = gemm(Trans::No, &q, Trans::No, &t.u, 1.0);
+        // Transpose back into the (column-permuted) H layout.
+        *y.core_mut(k) = TtCore::from_h(new_ht.transpose(), l, i, r1);
+
+        // Line 12: V(T_Y,k-1) ← V(T_Y,k-1) · V̂ Σ̂ — communication-free.
+        let mut vs = t.v.clone();
+        for (j, &s) in t.singular_values.iter().enumerate() {
+            vs.scale_col(j, s);
+        }
+        *y.core_mut(k - 1) = postmult_v(y.core(k - 1), &vs);
+    }
+
+    let ranks_after = y.ranks();
+    truncations.reverse();
+    (
+        y,
+        RoundReport {
+            norm,
+            ranks_before,
+            ranks_after,
+            truncations,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round::round_qr;
+    use tt_comm::SelfComm;
+    use tt_linalg::syrk_v;
+    use tt_linalg::Matrix;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::SeedableRng::seed_from_u64(seed)
+    }
+
+    fn redundant(dims: &[usize], ranks: &[usize], seed: u64) -> (TtTensor, TtTensor) {
+        let mut r = rng(seed);
+        let base = TtTensor::random(dims, ranks, &mut r);
+        let doubled = base.add(&base);
+        (base, doubled)
+    }
+
+    #[test]
+    fn qr_rounding_recovers_redundant_ranks() {
+        let (base, doubled) = redundant(&[5, 4, 6, 5], &[3, 2, 4], 1);
+        let rounded = round_qr(&doubled, 1e-10);
+        assert_eq!(rounded.ranks(), vec![1, 3, 2, 4, 1]);
+        let mut expect = base.clone();
+        expect.scale(2.0);
+        // Compare densely: the TT-inner-product norm of a difference has a
+        // cancellation floor of sqrt(eps)*||X||, which would mask the true
+        // accuracy of the QR route.
+        let err = rounded.to_dense().fro_dist(&expect.to_dense());
+        assert!(err < 1e-10 * (1.0 + expect.norm()), "err {err}");
+    }
+
+    #[test]
+    fn qr_rounding_respects_tolerance() {
+        let mut r = rng(2);
+        let x = TtTensor::random(&[6, 5, 4, 5], &[8, 9, 7], &mut r);
+        let xnorm = x.norm();
+        for tol in [1e-1, 1e-2, 1e-4] {
+            let y = round_qr(&x, tol);
+            let err = y.sub(&x).norm();
+            assert!(err <= tol * xnorm * 1.5 + 1e-12, "tol={tol}: err {err}");
+        }
+    }
+
+    #[test]
+    fn qr_rounding_matches_gram_rounding_on_ranks() {
+        let (_, doubled) = redundant(&[4, 6, 5, 4], &[3, 4, 2], 3);
+        let a = round_qr(&doubled, 1e-9);
+        let b = crate::round::round_gram_rlr(&doubled, 1e-9);
+        assert_eq!(a.ranks(), b.ranks());
+        let err = a.sub(&b).norm();
+        assert!(err < 1e-7 * (1.0 + a.norm()));
+    }
+
+    #[test]
+    fn right_cores_are_row_orthonormal_after_rounding() {
+        // Alg. 2 leaves cores 2..N with orthonormal rows (the right factor
+        // of each truncated SVD).
+        let (_, doubled) = redundant(&[4, 5, 4, 3], &[3, 3, 2], 4);
+        let comm = SelfComm::new();
+        let (y, _) = round_qr_dist(&comm, &doubled, &RoundingOptions::with_tolerance(1e-10));
+        for k in 1..y.order() {
+            let h = y.core(k).h();
+            let g = tt_linalg::gemm_alloc(Trans::No, h, Trans::Yes, h, 1.0);
+            assert!(
+                g.max_abs_diff(&Matrix::identity(g.rows())) < 1e-8,
+                "core {k} rows not orthonormal"
+            );
+        }
+        // And the first core's V-gram times nothing in particular — it
+        // carries the norm: ‖core 0‖_F = ‖X‖.
+        let report_norm = doubled.norm();
+        assert!((y.core(0).fro_norm() - report_norm).abs() < 1e-7 * (1.0 + report_norm));
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let mut r = rng(5);
+        let x = TtTensor::random(&[5, 6, 4], &[6, 5], &mut r);
+        let comm = SelfComm::new();
+        let opts = RoundingOptions::with_tolerance(1e-2).max_rank(3);
+        let (y, report) = round_qr_dist(&comm, &x, &opts);
+        assert_eq!(report.ranks_after, y.ranks());
+        assert!(y.max_rank() <= 3);
+        assert_eq!(report.truncations.len(), 2);
+        assert!((report.norm - x.norm()).abs() < 1e-8 * (1.0 + x.norm()));
+    }
+
+    #[test]
+    fn orthonormality_invariant_after_phase_one() {
+        // Run only on the full sequential path: after rounding, the V-gram
+        // of core 0 need not be I, but rounding twice is stable.
+        let (_, doubled) = redundant(&[5, 4, 5], &[3, 3], 6);
+        let once = round_qr(&doubled, 1e-9);
+        let twice = round_qr(&once, 1e-9);
+        assert_eq!(once.ranks(), twice.ranks());
+        let err = twice.sub(&once).norm();
+        assert!(err < 1e-8 * (1.0 + once.norm()));
+        // Left-orthonormality of interior cores of `twice` before the last
+        // truncation isn't exposed; instead check the Gram identity on the
+        // first bond of the rounded tensor: G_1^L from syrk is SPD.
+        let g = syrk_v(once.core(0).v(), 1.0);
+        assert!(g.rows() == once.ranks()[1]);
+    }
+}

@@ -1,0 +1,308 @@
+//! The per-bond Gram-SVD truncation step shared by Algorithms 4–6.
+//!
+//! Given the pair of Gram matrices `G_L = AᵀA` and `G_R = BᵀB` of the
+//! implicit factorization `X₍₁:ₙ₎ = A Bᵀ`, computes the update matrices
+//! `W_L` (post-multiplies the vertical unfolding of the left core) and
+//! `W_R` (pre-multiplies the horizontal unfolding of the right core) that
+//! truncate the bond rank to `L`:
+//!
+//! ```text
+//!   [V_L, Λ_L] = EIG(G_L)       [V_R, Λ_R] = EIG(G_R)
+//!   [Û, Σ̂, V̂] = TSVD(Λ_L^{1/2} V_Lᵀ V_R Λ_R^{1/2}, ε₀)
+//!   W_L = V_L Λ_L^{-1/2} Û · s_L(Σ̂)     W_R = s_R(Σ̂) · V̂ᵀ Λ_R^{-1/2} V_Rᵀ
+//! ```
+//!
+//! where the singular values are distributed to the left factor, the right
+//! factor, or split evenly, depending on the algorithm variant
+//! ([`SingularSide`]).
+
+use tt_linalg::{eigh, gemm, tsvd, Matrix, Trans};
+
+/// Where the singular values of the bond go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingularSide {
+    /// `W_L` absorbs `Σ̂` (used by the LRL sequence variant, which leaves
+    /// the *right* cores orthonormal).
+    Left,
+    /// `W_R` absorbs `Σ̂` (used by the RLR sequence variant, which leaves
+    /// the *left* cores orthonormal — Alg. 6 as printed).
+    Right,
+    /// Both absorb `Σ̂^{1/2}` (the simultaneous variant, Alg. 5).
+    Split,
+}
+
+/// Record of one bond truncation.
+#[derive(Debug, Clone)]
+pub struct BondTruncation {
+    /// Bond index `n` (between cores `n-1` and `n`, 0-based cores).
+    pub bond: usize,
+    /// Rank before truncation.
+    pub rank_before: usize,
+    /// Rank after truncation.
+    pub rank_after: usize,
+    /// Tail energy discarded at this bond, `√(Σ_{k>L} σ̂_k²)`.
+    pub discarded: f64,
+    /// Leading singular value estimate of the unfolding at this bond.
+    pub sigma_max: f64,
+}
+
+/// The update-matrix pair for one bond.
+pub struct BondUpdate {
+    /// `R × L`: post-multiplies the left core's vertical unfolding.
+    pub w_left: Matrix,
+    /// `L × R`: pre-multiplies the right core's horizontal unfolding.
+    pub w_right: Matrix,
+    /// Truncation record.
+    pub info: BondTruncation,
+}
+
+/// Computes the bond update from the Gram pair.
+///
+/// `threshold` is the absolute tail-energy budget ε₀; `max_rank` optionally
+/// caps the retained rank. Eigenvalues are clamped from below at
+/// `λ_max · ε_machine` before the `Λ^{-1/2}` scaling — the Gram route cannot
+/// resolve singular values below `√ε` of the largest (§II-B), and the clamp
+/// keeps those directions bounded rather than exploding, mirroring the
+/// robustness discussion of §III-B2.
+pub fn gram_truncate(
+    bond: usize,
+    g_left: &Matrix,
+    g_right: &Matrix,
+    threshold: f64,
+    max_rank: Option<usize>,
+    side: SingularSide,
+) -> BondUpdate {
+    let r = g_left.rows();
+    assert_eq!(g_left.shape(), (r, r), "G_L must be square");
+    assert_eq!(
+        g_right.shape(),
+        (r, r),
+        "Gram pair must share the bond dimension"
+    );
+
+    let el = eigh(g_left)
+        .expect("EVD of a Gram matrix cannot fail")
+        .descending();
+    let er = eigh(g_right)
+        .expect("EVD of a Gram matrix cannot fail")
+        .descending();
+    let (lam_l, vl) = (clamp_spectrum(&el.values), el.vectors);
+    let (lam_r, vr) = (clamp_spectrum(&er.values), er.vectors);
+
+    // M = Λ_L^{1/2} V_Lᵀ V_R Λ_R^{1/2}: scale rows and columns of V_LᵀV_R.
+    let mut m = gemm(Trans::Yes, &vl, Trans::No, &vr, 1.0);
+    for i in 0..r {
+        let s = lam_l[i].sqrt();
+        for j in 0..r {
+            m[(i, j)] *= s;
+        }
+    }
+    for (j, &lr) in lam_r.iter().enumerate() {
+        m.scale_col(j, lr.sqrt());
+    }
+
+    let mut t = tsvd(&m, threshold);
+    let mut discarded = t.discarded_norm;
+    if let Some(cap) = max_rank {
+        if t.rank() > cap {
+            let extra: f64 = t.singular_values[cap..].iter().map(|s| s * s).sum();
+            discarded = (discarded * discarded + extra).sqrt();
+            t.u = t.u.truncate_cols(cap);
+            t.v = t.v.truncate_cols(cap);
+            t.singular_values.truncate(cap);
+        }
+    }
+    let l = t.rank();
+    let sigma_max = t.singular_values.first().copied().unwrap_or(0.0);
+
+    // W_L = V_L Λ_L^{-1/2} Û (then optional Σ scaling).
+    let mut u_scaled = t.u.clone();
+    // Pre-scale Û rows by Λ_L^{-1/2} (row i of Û pairs with eigenpair i).
+    for j in 0..l {
+        let col = u_scaled.col_mut(j);
+        for (i, x) in col.iter_mut().enumerate() {
+            *x /= lam_l[i].sqrt();
+        }
+    }
+    let mut w_left = gemm(Trans::No, &vl, Trans::No, &u_scaled, 1.0);
+
+    // W_R = V̂ᵀ Λ_R^{-1/2} V_Rᵀ (then optional Σ scaling), built as
+    // (V_R Λ_R^{-1/2} V̂)ᵀ.
+    let mut v_scaled = t.v.clone();
+    for j in 0..l {
+        let col = v_scaled.col_mut(j);
+        for (i, x) in col.iter_mut().enumerate() {
+            *x /= lam_r[i].sqrt();
+        }
+    }
+    let w_right_t = gemm(Trans::No, &vr, Trans::No, &v_scaled, 1.0);
+    let mut w_right = w_right_t.transpose();
+
+    match side {
+        SingularSide::Left => {
+            for (j, &s) in t.singular_values.iter().enumerate() {
+                w_left.scale_col(j, s);
+            }
+        }
+        SingularSide::Right => {
+            for (i, &s) in t.singular_values.iter().enumerate() {
+                for j in 0..r {
+                    w_right[(i, j)] *= s;
+                }
+            }
+        }
+        SingularSide::Split => {
+            for (j, &s) in t.singular_values.iter().enumerate() {
+                let h = s.sqrt();
+                w_left.scale_col(j, h);
+                for c in 0..r {
+                    w_right[(j, c)] *= h;
+                }
+            }
+        }
+    }
+
+    BondUpdate {
+        w_left,
+        w_right,
+        info: BondTruncation {
+            bond,
+            rank_before: r,
+            rank_after: l,
+            discarded,
+            sigma_max,
+        },
+    }
+}
+
+/// Clamps a descending spectrum from below at `λ_max · ε` (and at the
+/// smallest positive double for an all-zero spectrum) so `Λ^{-1/2}` stays
+/// finite.
+fn clamp_spectrum(values: &[f64]) -> Vec<f64> {
+    let lam_max = values.first().copied().unwrap_or(0.0).max(0.0);
+    let floor = (lam_max * f64::EPSILON).max(f64::MIN_POSITIVE);
+    values.iter().map(|&v| v.max(floor)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tt_linalg::syrk;
+
+    /// Builds A (m×r), B (k×r) and checks that the Gram truncation of
+    /// X = A Bᵀ reproduces X to the threshold.
+    fn check_product_truncation(side: SingularSide) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, k, r) = (30, 25, 8);
+        let a = Matrix::gaussian(m, r, &mut rng);
+        let b = Matrix::gaussian(k, r, &mut rng);
+        let ga = syrk(&a, 1.0);
+        let gb = syrk(&b, 1.0);
+        let upd = gram_truncate(1, &ga, &gb, 1e-12, None, side);
+        // No truncation should occur at this tight threshold...
+        assert_eq!(upd.info.rank_after, r);
+        // ... and Â B̂ᵀ must equal A Bᵀ.
+        let a_hat = gemm(Trans::No, &a, Trans::No, &upd.w_left, 1.0);
+        let b_hat_t = gemm(Trans::No, &upd.w_right, Trans::Yes, &b, 1.0);
+        let x = gemm(Trans::No, &a, Trans::Yes, &b, 1.0);
+        let x_hat = gemm(Trans::No, &a_hat, Trans::No, &b_hat_t, 1.0);
+        assert!(
+            x.max_abs_diff(&x_hat) < 1e-9 * (1.0 + x.max_abs()),
+            "reconstruction failed for {side:?}"
+        );
+    }
+
+    #[test]
+    fn exact_reconstruction_right() {
+        check_product_truncation(SingularSide::Right);
+    }
+
+    #[test]
+    fn exact_reconstruction_left() {
+        check_product_truncation(SingularSide::Left);
+    }
+
+    #[test]
+    fn exact_reconstruction_split() {
+        check_product_truncation(SingularSide::Split);
+    }
+
+    #[test]
+    fn truncates_redundant_rank() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        // A, B of rank 3 embedded in 6 columns: [C | C] pattern.
+        let c_a = Matrix::gaussian(40, 3, &mut rng);
+        let c_b = Matrix::gaussian(35, 3, &mut rng);
+        let mut a = Matrix::zeros(40, 6);
+        let mut b = Matrix::zeros(35, 6);
+        for j in 0..3 {
+            a.col_mut(j).copy_from_slice(c_a.col(j));
+            a.col_mut(j + 3).copy_from_slice(c_a.col(j));
+            b.col_mut(j).copy_from_slice(c_b.col(j));
+            b.col_mut(j + 3).copy_from_slice(c_b.col(j));
+        }
+        let x = gemm(Trans::No, &a, Trans::Yes, &b, 1.0);
+        let upd = gram_truncate(
+            1,
+            &syrk(&a, 1.0),
+            &syrk(&b, 1.0),
+            1e-8 * x.fro_norm(),
+            None,
+            SingularSide::Right,
+        );
+        assert_eq!(upd.info.rank_after, 3, "redundant rank not detected");
+        let a_hat = gemm(Trans::No, &a, Trans::No, &upd.w_left, 1.0);
+        let b_hat_t = gemm(Trans::No, &upd.w_right, Trans::Yes, &b, 1.0);
+        let x_hat = gemm(Trans::No, &a_hat, Trans::No, &b_hat_t, 1.0);
+        assert!(x.max_abs_diff(&x_hat) < 1e-7 * (1.0 + x.max_abs()));
+    }
+
+    #[test]
+    fn max_rank_cap_applies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let a = Matrix::gaussian(50, 10, &mut rng);
+        let b = Matrix::gaussian(45, 10, &mut rng);
+        let upd = gram_truncate(
+            2,
+            &syrk(&a, 1.0),
+            &syrk(&b, 1.0),
+            1e-14,
+            Some(4),
+            SingularSide::Split,
+        );
+        assert_eq!(upd.info.rank_after, 4);
+        assert_eq!(upd.w_left.cols(), 4);
+        assert_eq!(upd.w_right.rows(), 4);
+        assert!(upd.info.discarded > 0.0);
+    }
+
+    #[test]
+    fn zero_gram_matrices_do_not_produce_nans() {
+        let g = Matrix::zeros(5, 5);
+        let upd = gram_truncate(0, &g, &g, 1.0, None, SingularSide::Right);
+        assert_eq!(upd.info.rank_after, 1);
+        assert!(upd.w_left.as_slice().iter().all(|x| x.is_finite()));
+        assert!(upd.w_right.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn left_orthonormality_of_right_side_variant() {
+        // With SingularSide::Right, A·W_L must have orthonormal columns
+        // (this is what keeps the left cores orthonormal in Alg. 6).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let a = Matrix::gaussian(60, 7, &mut rng);
+        let b = Matrix::gaussian(55, 7, &mut rng);
+        let upd = gram_truncate(
+            1,
+            &syrk(&a, 1.0),
+            &syrk(&b, 1.0),
+            1e-13,
+            None,
+            SingularSide::Right,
+        );
+        let a_hat = gemm(Trans::No, &a, Trans::No, &upd.w_left, 1.0);
+        let gram = syrk(&a_hat, 1.0);
+        assert!(gram.max_abs_diff(&Matrix::identity(upd.info.rank_after)) < 1e-8);
+    }
+}

@@ -1,0 +1,426 @@
+//! The TT tensor type and formal TT arithmetic.
+//!
+//! Formal arithmetic (addition, Hadamard products, operator application)
+//! grows the TT ranks — addition sums them, Hadamard multiplies them — which
+//! is exactly why TT-Rounding (see [`crate::round`]) is the key operation of
+//! any TT-based solver.
+
+use crate::core::TtCore;
+use crate::dense::DenseTensor;
+use tt_linalg::{gemm_alloc, Matrix, Trans};
+
+/// A tensor in Tensor-Train format: a chain of 3-way cores
+/// `T_k ∈ R^{R_k × I_k × R_{k+1}}` with `R_0 = R_N = 1`.
+///
+/// The same type represents both a full TT tensor and one rank's *local*
+/// block under the 1-D slice distribution (the mode dimensions are then the
+/// local slice counts; boundary ranks of 1 are still enforced).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtTensor {
+    cores: Vec<TtCore>,
+}
+
+impl TtTensor {
+    /// Builds a TT tensor from cores, validating the rank chain.
+    pub fn new(cores: Vec<TtCore>) -> Self {
+        assert!(!cores.is_empty(), "a TT tensor needs at least one core");
+        assert_eq!(cores[0].r0(), 1, "first TT rank must be 1");
+        assert_eq!(cores.last().unwrap().r1(), 1, "last TT rank must be 1");
+        for w in cores.windows(2) {
+            assert_eq!(
+                w[0].r1(),
+                w[1].r0(),
+                "neighboring TT ranks must match ({} vs {})",
+                w[0].r1(),
+                w[1].r0()
+            );
+        }
+        TtTensor { cores }
+    }
+
+    /// A TT tensor with i.i.d. standard-normal cores.
+    ///
+    /// `ranks` lists the interior ranks `R_1, …, R_{N-1}` (length
+    /// `dims.len() - 1`).
+    pub fn random(dims: &[usize], ranks: &[usize], rng: &mut impl rand::Rng) -> Self {
+        assert_eq!(
+            ranks.len() + 1,
+            dims.len(),
+            "need one interior rank per bond"
+        );
+        let n = dims.len();
+        let full_ranks: Vec<usize> = std::iter::once(1)
+            .chain(ranks.iter().copied())
+            .chain(std::iter::once(1))
+            .collect();
+        let cores = (0..n)
+            .map(|k| TtCore::gaussian(full_ranks[k], dims[k], full_ranks[k + 1], rng))
+            .collect();
+        TtTensor::new(cores)
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Mode dimensions `I_1, …, I_N`.
+    pub fn dims(&self) -> Vec<usize> {
+        self.cores.iter().map(|c| c.mode_dim()).collect()
+    }
+
+    /// The full rank chain `R_0, …, R_N` (length `order + 1`).
+    pub fn ranks(&self) -> Vec<usize> {
+        let mut r: Vec<usize> = self.cores.iter().map(|c| c.r0()).collect();
+        r.push(1);
+        r
+    }
+
+    /// Largest TT rank.
+    pub fn max_rank(&self) -> usize {
+        self.ranks().into_iter().max().unwrap()
+    }
+
+    /// Core `k` (0-based).
+    pub fn core(&self, k: usize) -> &TtCore {
+        &self.cores[k]
+    }
+
+    /// Mutable core `k`.
+    pub fn core_mut(&mut self, k: usize) -> &mut TtCore {
+        &mut self.cores[k]
+    }
+
+    /// All cores.
+    pub fn cores(&self) -> &[TtCore] {
+        &self.cores
+    }
+
+    /// Replaces core `k`, revalidating the rank chain.
+    pub fn set_core(&mut self, k: usize, core: TtCore) {
+        self.cores[k] = core;
+        let cores = std::mem::take(&mut self.cores);
+        *self = TtTensor::new(cores);
+    }
+
+    /// Number of stored parameters (the TT memory footprint in entries).
+    pub fn storage_len(&self) -> usize {
+        self.cores.iter().map(|c| c.len()).sum()
+    }
+
+    /// Number of entries of the represented (explicit) tensor.
+    pub fn dense_len(&self) -> f64 {
+        self.dims().iter().map(|&d| d as f64).product()
+    }
+
+    /// Evaluates one entry as the product of core slices.
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        assert_eq!(idx.len(), self.order(), "index arity mismatch");
+        // Carry a row vector of length R_k through the chain.
+        let mut v = vec![1.0];
+        for (k, &i) in idx.iter().enumerate() {
+            let c = &self.cores[k];
+            let mut next = vec![0.0; c.r1()];
+            for (b, nb) in next.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (a, va) in v.iter().enumerate() {
+                    s += va * c.at(a, i, b);
+                }
+                *nb = s;
+            }
+            v = next;
+        }
+        debug_assert_eq!(v.len(), 1);
+        v[0]
+    }
+
+    /// Materializes the explicit tensor (tiny problems / tests only).
+    ///
+    /// Works by chained unfolding products, exploiting the fact that the
+    /// column-permuted horizontal unfolding product lands directly in
+    /// column-major dense order.
+    pub fn to_dense(&self) -> DenseTensor {
+        let mut m = Matrix::identity(1);
+        for c in &self.cores {
+            // (P × r0) · (r0 × i·r1), then reinterpret as (P·i × r1):
+            // both steps are pure column-major buffer reshapes.
+            let p = m.rows();
+            let z = gemm_alloc(Trans::No, m.view(), Trans::No, c.h(), 1.0);
+            m = z.reshaped(p * c.mode_dim(), c.r1());
+        }
+        DenseTensor::from_data(&self.dims(), m.into_vec())
+    }
+
+    /// Scales the tensor by `alpha` (absorbed into the first core).
+    pub fn scale(&mut self, alpha: f64) {
+        let v = self.cores[0].v_matrix();
+        let mut v = v;
+        v.scale(alpha);
+        let (r0, i, r1) = (
+            self.cores[0].r0(),
+            self.cores[0].mode_dim(),
+            self.cores[0].r1(),
+        );
+        self.cores[0] = TtCore::from_v(v, r0, i, r1);
+    }
+
+    /// Formal TT sum `self + other`: ranks add bond-wise, no truncation.
+    pub fn add(&self, other: &TtTensor) -> TtTensor {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "TT addition requires equal dimensions"
+        );
+        let n = self.order();
+        if n == 1 {
+            // Single-mode tensor: cores are 1 × I × 1 vectors; just add.
+            let mut v = self.cores[0].v_matrix();
+            v.axpy(1.0, &other.cores[0].v_matrix());
+            let i = self.cores[0].mode_dim();
+            return TtTensor::new(vec![TtCore::from_v(v, 1, i, 1)]);
+        }
+        let mut cores = Vec::with_capacity(n);
+        for k in 0..n {
+            let (a, b) = (&self.cores[k], &other.cores[k]);
+            let i = a.mode_dim();
+            let (r0, r1) = if k == 0 {
+                (1, a.r1() + b.r1())
+            } else if k == n - 1 {
+                (a.r0() + b.r0(), 1)
+            } else {
+                (a.r0() + b.r0(), a.r1() + b.r1())
+            };
+            let mut c = TtCore::zeros(r0, i, r1);
+            // Block placement per slice: [A 0; 0 B] (degenerating to
+            // horizontal/vertical concatenation at the boundary cores).
+            for ii in 0..i {
+                for aa in 0..a.r0() {
+                    for bb in 0..a.r1() {
+                        *c.at_mut(aa, ii, bb) = a.at(aa, ii, bb);
+                    }
+                }
+                let (off0, off1) = if k == 0 {
+                    (0, a.r1())
+                } else {
+                    (a.r0(), a.r1())
+                };
+                let (off0, off1) = if k == n - 1 { (off0, 0) } else { (off0, off1) };
+                for aa in 0..b.r0() {
+                    for bb in 0..b.r1() {
+                        *c.at_mut(off0 + aa, ii, bb + off1) = b.at(aa, ii, bb);
+                    }
+                }
+            }
+            cores.push(c);
+        }
+        TtTensor::new(cores)
+    }
+
+    /// `self - other` (formal sum with the negation).
+    pub fn sub(&self, other: &TtTensor) -> TtTensor {
+        let mut neg = other.clone();
+        neg.scale(-1.0);
+        self.add(&neg)
+    }
+
+    /// Formal elementwise (Hadamard) product: ranks multiply bond-wise.
+    pub fn hadamard(&self, other: &TtTensor) -> TtTensor {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "Hadamard requires equal dimensions"
+        );
+        let cores = self
+            .cores
+            .iter()
+            .zip(&other.cores)
+            .map(|(a, b)| {
+                let (r0, i, r1) = (a.r0() * b.r0(), a.mode_dim(), a.r1() * b.r1());
+                let mut c = TtCore::zeros(r0, i, r1);
+                // Slice-wise Kronecker product A(:,i,:) ⊗ B(:,i,:).
+                for ii in 0..i {
+                    for aa in 0..a.r0() {
+                        for ab in 0..b.r0() {
+                            for ba in 0..a.r1() {
+                                for bb in 0..b.r1() {
+                                    *c.at_mut(aa * b.r0() + ab, ii, ba * b.r1() + bb) =
+                                        a.at(aa, ii, ba) * b.at(ab, ii, bb);
+                                }
+                            }
+                        }
+                    }
+                }
+                c
+            })
+            .collect();
+        TtTensor::new(cores)
+    }
+
+    /// Sequential inner product `⟨self, other⟩` (distributed version in
+    /// [`crate::dist`]).
+    pub fn inner(&self, other: &TtTensor) -> f64 {
+        crate::dist::inner_local(&tt_comm::SelfComm::new(), self, other)
+    }
+
+    /// Frobenius norm `‖self‖`.
+    pub fn norm(&self) -> f64 {
+        self.inner(self).max(0.0).sqrt()
+    }
+
+    /// Applies a physical-mode operator to mode `k`: the closure receives
+    /// the mode-2 unfolding (`I_k × R_k R_{k+1}`) and returns the transformed
+    /// unfolding (`J × R_k R_{k+1}`, a possibly different mode dimension).
+    /// This is how sparse/diagonal operator factors act on a TT vector.
+    pub fn apply_mode(&mut self, k: usize, f: impl FnOnce(&Matrix) -> Matrix) {
+        let c = &self.cores[k];
+        let (r0, r1) = (c.r0(), c.r1());
+        let unf = c.mode_unfold();
+        let out = f(&unf);
+        assert_eq!(
+            out.cols(),
+            r0 * r1,
+            "mode operator must preserve the rank columns"
+        );
+        self.cores[k] = TtCore::from_mode_unfold(&out, r0, r1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::SeedableRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn eval_matches_to_dense() {
+        let mut r = rng(1);
+        let t = TtTensor::random(&[3, 4, 2, 5], &[2, 3, 2], &mut r);
+        let d = t.to_dense();
+        for idx in [[0, 0, 0, 0], [2, 3, 1, 4], [1, 2, 0, 3]] {
+            assert!((t.eval(&idx) - d.at(&idx)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranks_and_dims() {
+        let mut r = rng(2);
+        let t = TtTensor::random(&[4, 5, 6], &[2, 3], &mut r);
+        assert_eq!(t.dims(), vec![4, 5, 6]);
+        assert_eq!(t.ranks(), vec![1, 2, 3, 1]);
+        assert_eq!(t.max_rank(), 3);
+        assert_eq!(t.storage_len(), 4 * 2 + 2 * 5 * 3 + 3 * 6);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let mut r = rng(3);
+        let a = TtTensor::random(&[3, 2, 4], &[2, 2], &mut r);
+        let b = TtTensor::random(&[3, 2, 4], &[3, 1], &mut r);
+        let s = a.add(&b);
+        assert_eq!(s.ranks(), vec![1, 5, 3, 1]);
+        let (da, db, ds) = (a.to_dense(), b.to_dense(), s.to_dense());
+        for k in 0..da.len() {
+            assert!((ds.as_slice()[k] - da.as_slice()[k] - db.as_slice()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_two_modes() {
+        let mut r = rng(4);
+        let a = TtTensor::random(&[3, 4], &[2], &mut r);
+        let b = TtTensor::random(&[3, 4], &[3], &mut r);
+        let s = a.add(&b);
+        assert_eq!(s.ranks(), vec![1, 5, 1]);
+        let (da, db, ds) = (a.to_dense(), b.to_dense(), s.to_dense());
+        for k in 0..da.len() {
+            assert!((ds.as_slice()[k] - da.as_slice()[k] - db.as_slice()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let mut r = rng(5);
+        let a = TtTensor::random(&[2, 3, 2], &[2, 2], &mut r);
+        let mut a2 = a.clone();
+        a2.scale(2.0);
+        let diff = a2.sub(&a); // == a
+        let (da, dd) = (a.to_dense(), diff.to_dense());
+        for k in 0..da.len() {
+            assert!((dd.as_slice()[k] - da.as_slice()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hadamard_is_elementwise_product() {
+        let mut r = rng(6);
+        let a = TtTensor::random(&[2, 3, 2], &[2, 2], &mut r);
+        let b = TtTensor::random(&[2, 3, 2], &[2, 3], &mut r);
+        let h = a.hadamard(&b);
+        assert_eq!(h.ranks(), vec![1, 4, 6, 1]);
+        let (da, db, dh) = (a.to_dense(), b.to_dense(), h.to_dense());
+        for k in 0..da.len() {
+            assert!((dh.as_slice()[k] - da.as_slice()[k] * db.as_slice()[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inner_matches_dense() {
+        let mut r = rng(7);
+        let a = TtTensor::random(&[3, 2, 4], &[2, 3], &mut r);
+        let b = TtTensor::random(&[3, 2, 4], &[1, 2], &mut r);
+        let (da, db) = (a.to_dense(), b.to_dense());
+        let expect: f64 = da
+            .as_slice()
+            .iter()
+            .zip(db.as_slice())
+            .map(|(x, y)| x * y)
+            .sum();
+        assert!((a.inner(&b) - expect).abs() < 1e-10 * (1.0 + expect.abs()));
+        assert!((a.norm() - da.fro_norm()).abs() < 1e-10 * (1.0 + da.fro_norm()));
+    }
+
+    #[test]
+    fn apply_mode_identity_is_noop() {
+        let mut r = rng(8);
+        let mut t = TtTensor::random(&[3, 4, 2], &[2, 2], &mut r);
+        let before = t.to_dense();
+        t.apply_mode(1, |m| m.clone());
+        assert_eq!(t.to_dense(), before);
+    }
+
+    #[test]
+    fn apply_mode_scaling_scales_entries() {
+        let mut r = rng(9);
+        let mut t = TtTensor::random(&[3, 4, 2], &[2, 2], &mut r);
+        let before = t.to_dense();
+        // Diagonal operator on mode 1: multiply slice i by (i+1).
+        t.apply_mode(1, |m| {
+            let mut out = m.clone();
+            for c in 0..out.cols() {
+                for i in 0..out.rows() {
+                    out[(i, c)] *= (i + 1) as f64;
+                }
+            }
+            out
+        });
+        let after = t.to_dense();
+        for i0 in 0..3 {
+            for i1 in 0..4 {
+                for i2 in 0..2 {
+                    let idx = [i0, i1, i2];
+                    assert!((after.at(&idx) - (i1 + 1) as f64 * before.at(&idx)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_ranks_rejected() {
+        let c0 = TtCore::zeros(1, 3, 2);
+        let c1 = TtCore::zeros(3, 3, 1); // 2 != 3
+        let _ = TtTensor::new(vec![c0, c1]);
+    }
+}

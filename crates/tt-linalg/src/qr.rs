@@ -1,0 +1,309 @@
+//! Householder QR factorization and TSQR building blocks.
+//!
+//! This is the orthogonalization machinery of the *baseline* rounding
+//! algorithm (Alg. 2 of the paper, following Al Daas–Ballard–Benner): a
+//! LAPACK-style compact-WY-free Householder QR with explicit thin-Q
+//! recovery, plus the stacked-R combine step used by the Tall-Skinny QR
+//! reduction tree [Demmel et al.].
+
+use crate::matrix::Matrix;
+
+/// Compact Householder QR factorization of an `m × n` matrix (`m ≥ n` not
+/// required; `k = min(m, n)` reflectors are produced).
+///
+/// The reflectors are stored LAPACK-style: reflector `j` is
+/// `H_j = I − τ_j v vᵀ` with `v = [0…0, 1, factors[(j+1.., j)]]`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Packed reflectors (below diagonal) and R (upper triangle).
+    factors: Matrix,
+    /// Householder scalars, one per reflector.
+    tau: Vec<f64>,
+}
+
+/// Computes the Householder QR factorization of `a`.
+pub fn householder_qr(a: &Matrix) -> QrFactors {
+    let mut f = a.clone();
+    let (m, n) = f.shape();
+    let k = m.min(n);
+    let mut tau = vec![0.0; k];
+    let mut work = vec![0.0; n];
+
+    for j in 0..k {
+        // Build the reflector annihilating f[j+1.., j].
+        let (t, beta) = make_householder(&mut f, j);
+        tau[j] = t;
+        // Apply H_j to the trailing columns: A := (I - τ v vᵀ) A.
+        if t != 0.0 && j + 1 < n {
+            apply_reflector_left(&mut f, j, t, &mut work);
+        }
+        f[(j, j)] = beta;
+    }
+    QrFactors { factors: f, tau }
+}
+
+impl QrFactors {
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// The upper-triangular factor, as a `k × n` matrix (`k = min(m, n)`).
+    pub fn r(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| if i <= j { self.factors[(i, j)] } else { 0.0 })
+    }
+
+    /// Explicit thin Q (`m × k`), by backward accumulation of the reflectors
+    /// applied to the leading columns of the identity.
+    pub fn thin_q(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let k = m.min(n);
+        let mut q = Matrix::zeros(m, k);
+        for j in 0..k {
+            q[(j, j)] = 1.0;
+        }
+        let mut work = vec![0.0; k];
+        for j in (0..k).rev() {
+            let t = self.tau[j];
+            if t != 0.0 {
+                apply_stored_reflector(&self.factors, j, t, &mut q, &mut work);
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to `b` in place (`b` has `m` rows).
+    pub fn apply_qt(&self, b: &mut Matrix) {
+        let (m, n) = self.factors.shape();
+        assert_eq!(b.rows(), m, "apply_qt: row mismatch");
+        let k = m.min(n);
+        let mut work = vec![0.0; b.cols()];
+        for j in 0..k {
+            let t = self.tau[j];
+            if t != 0.0 {
+                apply_stored_reflector(&self.factors, j, t, b, &mut work);
+            }
+        }
+    }
+
+    /// Applies `Q` to `b` in place (`b` has `m` rows).
+    pub fn apply_q(&self, b: &mut Matrix) {
+        let (m, n) = self.factors.shape();
+        assert_eq!(b.rows(), m, "apply_q: row mismatch");
+        let k = m.min(n);
+        let mut work = vec![0.0; b.cols()];
+        for j in (0..k).rev() {
+            let t = self.tau[j];
+            if t != 0.0 {
+                apply_stored_reflector(&self.factors, j, t, b, &mut work);
+            }
+        }
+    }
+}
+
+/// TSQR combine step: QR of two stacked `k × n` upper-triangular blocks
+/// `[R₁; R₂]`. Returns `(q, r)` with `q` the explicit `2k × k'` thin Q and
+/// `r` the combined triangular factor — one internal node of the TSQR
+/// reduction tree.
+pub fn qr_stacked_pair(r1: &Matrix, r2: &Matrix) -> (Matrix, Matrix) {
+    assert_eq!(
+        r1.cols(),
+        r2.cols(),
+        "stacked QR requires equal column counts"
+    );
+    let stacked = r1.vstack(r2);
+    let f = householder_qr(&stacked);
+    (f.thin_q(), f.r())
+}
+
+/// Builds the reflector for column `j`; returns `(tau, beta)` where `beta`
+/// is the new diagonal entry. The vector tail is written below the diagonal.
+fn make_householder(f: &mut Matrix, j: usize) -> (f64, f64) {
+    let m = f.rows();
+    let alpha = f[(j, j)];
+    let mut xnorm2 = 0.0;
+    for i in j + 1..m {
+        let v = f[(i, j)];
+        xnorm2 += v * v;
+    }
+    if xnorm2 == 0.0 {
+        // Column already zero below the diagonal: H = I.
+        return (0.0, alpha);
+    }
+    let norm = (alpha * alpha + xnorm2).sqrt();
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for i in j + 1..m {
+        f[(i, j)] *= scale;
+    }
+    (tau, beta)
+}
+
+/// Applies the reflector stored in column `j` of `f` to the trailing columns
+/// of `f` itself (used during factorization).
+fn apply_reflector_left(f: &mut Matrix, j: usize, tau: f64, work: &mut [f64]) {
+    let (m, n) = f.shape();
+    // w = vᵀ A[j.., j+1..]  where v = [1, f[j+1.., j]]
+    for c in j + 1..n {
+        let mut s = f[(j, c)];
+        for i in j + 1..m {
+            s += f[(i, j)] * f[(i, c)];
+        }
+        work[c] = s;
+    }
+    // A -= τ v wᵀ
+    for c in j + 1..n {
+        let tw = tau * work[c];
+        f[(j, c)] -= tw;
+        for i in j + 1..m {
+            let vij = f[(i, j)];
+            f[(i, c)] -= tw * vij;
+        }
+    }
+}
+
+/// Applies reflector `j` (stored in `stored`) to every column of `b`.
+fn apply_stored_reflector(stored: &Matrix, j: usize, tau: f64, b: &mut Matrix, work: &mut [f64]) {
+    let m = stored.rows();
+    let n = b.cols();
+    debug_assert!(work.len() >= n);
+    for c in 0..n {
+        let bcol = b.col(c);
+        let mut s = bcol[j];
+        for i in j + 1..m {
+            s += stored[(i, j)] * bcol[i];
+        }
+        work[c] = s;
+    }
+    for c in 0..n {
+        let tw = tau * work[c];
+        let bcol = b.col_mut(c);
+        bcol[j] -= tw;
+        for i in j + 1..m {
+            bcol[i] -= tw * stored[(i, j)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Trans};
+    use rand::SeedableRng;
+
+    fn check_qr(m: usize, n: usize, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::gaussian(m, n, &mut rng);
+        let f = householder_qr(&a);
+        let q = f.thin_q();
+        let r = f.r();
+        let k = m.min(n);
+        assert_eq!(q.shape(), (m, k));
+        assert_eq!(r.shape(), (k, n));
+        // A = Q R
+        let qr = gemm(Trans::No, &q, Trans::No, &r, 1.0);
+        assert!(
+            qr.max_abs_diff(&a) < 1e-12 * (1.0 + a.max_abs()),
+            "reconstruction {m}x{n}"
+        );
+        // QᵀQ = I
+        let qtq = gemm(Trans::Yes, &q, Trans::No, &q, 1.0);
+        assert!(
+            qtq.max_abs_diff(&Matrix::identity(k)) < 1e-13,
+            "orthogonality {m}x{n}"
+        );
+        // R upper triangular
+        for j in 0..n {
+            for i in j + 1..k {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_tall() {
+        check_qr(50, 8, 1);
+    }
+
+    #[test]
+    fn qr_square() {
+        check_qr(12, 12, 2);
+    }
+
+    #[test]
+    fn qr_wide() {
+        check_qr(5, 9, 3);
+    }
+
+    #[test]
+    fn qr_single_column() {
+        check_qr(17, 1, 4);
+    }
+
+    #[test]
+    fn qr_rank_deficient_is_stable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let b = Matrix::gaussian(30, 3, &mut rng);
+        let c = Matrix::gaussian(3, 6, &mut rng);
+        let a = gemm(Trans::No, &b, Trans::No, &c, 1.0); // rank 3, 30x6
+        let f = householder_qr(&a);
+        let q = f.thin_q();
+        let r = f.r();
+        let qr = gemm(Trans::No, &q, Trans::No, &r, 1.0);
+        assert!(qr.max_abs_diff(&a) < 1e-12 * (1.0 + a.max_abs()));
+        let qtq = gemm(Trans::Yes, &q, Trans::No, &q, 1.0);
+        assert!(qtq.max_abs_diff(&Matrix::identity(6)) < 1e-13);
+    }
+
+    #[test]
+    fn apply_q_and_qt_are_inverses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = Matrix::gaussian(20, 5, &mut rng);
+        let f = householder_qr(&a);
+        let b0 = Matrix::gaussian(20, 4, &mut rng);
+        let mut b = b0.clone();
+        f.apply_qt(&mut b);
+        f.apply_q(&mut b);
+        assert!(b.max_abs_diff(&b0) < 1e-12);
+    }
+
+    #[test]
+    fn stacked_pair_combines_r_factors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a1 = Matrix::gaussian(40, 6, &mut rng);
+        let a2 = Matrix::gaussian(40, 6, &mut rng);
+        let r1 = householder_qr(&a1).r();
+        let r2 = householder_qr(&a2).r();
+        let (q, r) = qr_stacked_pair(&r1, &r2);
+        // [R1; R2] = Q R
+        let stacked = r1.vstack(&r2);
+        let qr = gemm(Trans::No, &q, Trans::No, &r, 1.0);
+        assert!(qr.max_abs_diff(&stacked) < 1e-12 * (1.0 + stacked.max_abs()));
+        // Singular values of [A1; A2] equal those of R (TSQR invariant):
+        let big = a1.vstack(&a2);
+        let s_big = crate::svd::jacobi_svd(&big).singular_values;
+        let s_r = crate::svd::jacobi_svd(&r).singular_values;
+        for (x, y) in s_big.iter().zip(s_r.iter()) {
+            assert!((x - y).abs() < 1e-10 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix_qr() {
+        let a = Matrix::zeros(10, 3);
+        let f = householder_qr(&a);
+        assert!(f.r().max_abs() == 0.0);
+        // Q columns are still well-defined (identity embedding).
+        let q = f.thin_q();
+        let qtq = gemm(Trans::Yes, &q, Trans::No, &q, 1.0);
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)) < 1e-14);
+    }
+}

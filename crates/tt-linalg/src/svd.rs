@@ -1,0 +1,322 @@
+//! Singular value decomposition and ε-truncation.
+//!
+//! The rounding algorithms only ever take SVDs of *small* `R × R` matrices
+//! (the combined Gram factor `Λ_L^{1/2} V_Lᵀ V_R Λ_R^{1/2}` or the triangular
+//! `R_A R_Bᵀ`), so a one-sided Jacobi SVD is used: it is simple, very
+//! accurate (it computes small singular values to high relative accuracy,
+//! which matters for the truncation-rank decision), and entirely
+//! `gemm`-class arithmetic.
+
+use crate::matrix::Matrix;
+
+/// A full (thin) singular value decomposition `A = U Σ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` with `k = min(m, n)`.
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `n × k` (columns, not transposed).
+    pub v: Matrix,
+}
+
+/// A rank-truncated SVD together with the truncation diagnostics.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Leading `L` left singular vectors (`m × L`).
+    pub u: Matrix,
+    /// Leading `L` singular values.
+    pub singular_values: Vec<f64>,
+    /// Leading `L` right singular vectors (`n × L`).
+    pub v: Matrix,
+    /// The discarded tail energy `√(Σ_{k>L} σ_k²)`.
+    pub discarded_norm: f64,
+}
+
+impl TruncatedSvd {
+    /// The retained rank `L`.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence. In
+/// practice well-conditioned `R × R` inputs converge in < 10 sweeps.
+const MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD of an arbitrary dense matrix.
+///
+/// Always converges for finite input (the off-diagonal mass of `AᵀA` is
+/// strictly decreasing); after [`MAX_SWEEPS`] the current iterate is
+/// returned, which for any realistic input is long past convergence.
+pub fn jacobi_svd(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    if m < n {
+        // Work on the transpose and swap the roles of U and V.
+        let t = jacobi_svd(&a.transpose());
+        return Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        };
+    }
+
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-15;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                let (app, aqq, apq) = column_grams(&w, p, q);
+                if apq.abs() <= tol * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Symmetric 2x2 Jacobi rotation diagonalizing
+                // [app apq; apq aqq].
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut w, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Extract singular values and normalize the left vectors.
+    let mut sigma: Vec<f64> = (0..n).map(|j| norm2(w.col(j))).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vs = Matrix::zeros(n, n);
+    let mut svals = vec![0.0; n];
+    for (dst, &src) in order.iter().enumerate() {
+        svals[dst] = sigma[src];
+        vs.col_mut(dst).copy_from_slice(v.col(src));
+        let ucol = u.col_mut(dst);
+        ucol.copy_from_slice(w.col(src));
+        if sigma[src] > 0.0 {
+            let inv = 1.0 / sigma[src];
+            for x in ucol {
+                *x *= inv;
+            }
+        }
+    }
+    sigma.clear();
+
+    Svd {
+        u,
+        singular_values: svals,
+        v: vs,
+    }
+}
+
+/// The paper's truncation rule: the minimal rank `L ≥ 1` such that the
+/// discarded tail satisfies `√(Σ_{k>L} σ_k²) ≤ threshold`.
+///
+/// Returns `(L, discarded_norm)`.
+pub fn truncation_rank(singular_values: &[f64], threshold: f64) -> (usize, f64) {
+    let k = singular_values.len();
+    if k == 0 {
+        return (0, 0.0);
+    }
+    // Accumulate tail energies from the back.
+    let mut tail = 0.0;
+    let mut rank = k;
+    let mut discarded = 0.0;
+    for l in (1..=k).rev() {
+        let next_tail = tail + singular_values[l - 1] * singular_values[l - 1];
+        if next_tail.sqrt() <= threshold && l > 1 {
+            tail = next_tail;
+            rank = l - 1;
+            discarded = tail.sqrt();
+        } else if next_tail.sqrt() <= threshold && l == 1 {
+            // Even the full matrix is below threshold; keep rank 1 by
+            // convention (a TT rank of 0 would collapse the tensor).
+            tail = next_tail;
+            rank = 1;
+            discarded = (tail - singular_values[0] * singular_values[0])
+                .max(0.0)
+                .sqrt();
+        } else {
+            break;
+        }
+    }
+    (rank, discarded)
+}
+
+/// ε-truncated SVD: full Jacobi SVD followed by the tail-energy truncation
+/// rule of [`truncation_rank`].
+pub fn tsvd(a: &Matrix, threshold: f64) -> TruncatedSvd {
+    let full = jacobi_svd(a);
+    let (rank, discarded) = truncation_rank(&full.singular_values, threshold);
+    TruncatedSvd {
+        u: full.u.truncate_cols(rank),
+        singular_values: full.singular_values[..rank].to_vec(),
+        v: full.v.truncate_cols(rank),
+        discarded_norm: discarded,
+    }
+}
+
+fn column_grams(w: &Matrix, p: usize, q: usize) -> (f64, f64, f64) {
+    let cp = w.col(p);
+    let cq = w.col(q);
+    let mut app = 0.0;
+    let mut aqq = 0.0;
+    let mut apq = 0.0;
+    for i in 0..cp.len() {
+        app += cp[i] * cp[i];
+        aqq += cq[i] * cq[i];
+        apq += cp[i] * cq[i];
+    }
+    (app, aqq, apq)
+}
+
+fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let (cp, cq) = m.cols_mut_pair(p, q);
+    for i in 0..cp.len() {
+        let a = cp[i];
+        let b = cq[i];
+        cp[i] = c * a - s * b;
+        cq[i] = s * a + c * b;
+    }
+}
+
+fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm, Trans};
+    use rand::SeedableRng;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let mut us = svd.u.clone();
+        for (j, &s) in svd.singular_values.iter().enumerate() {
+            us.scale_col(j, s);
+        }
+        gemm(Trans::No, &us, Trans::Yes, &svd.v, 1.0)
+    }
+
+    fn check(m: usize, n: usize, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::gaussian(m, n, &mut rng);
+        let s = jacobi_svd(&a);
+        let r = reconstruct(&s);
+        assert!(
+            r.max_abs_diff(&a) < 1e-11 * (1.0 + a.max_abs()),
+            "reconstruction {m}x{n}"
+        );
+        let k = m.min(n);
+        let utu = gemm(Trans::Yes, &s.u, Trans::No, &s.u, 1.0);
+        assert!(
+            utu.max_abs_diff(&Matrix::identity(k)) < 1e-11,
+            "U orth {m}x{n}"
+        );
+        let vtv = gemm(Trans::Yes, &s.v, Trans::No, &s.v, 1.0);
+        assert!(
+            vtv.max_abs_diff(&Matrix::identity(k)) < 1e-11,
+            "V orth {m}x{n}"
+        );
+        // descending order
+        for w in s.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn svd_tall() {
+        check(30, 7, 1);
+    }
+
+    #[test]
+    fn svd_square() {
+        check(12, 12, 2);
+    }
+
+    #[test]
+    fn svd_wide() {
+        check(6, 19, 3);
+    }
+
+    #[test]
+    fn svd_known_diagonal() {
+        let a = Matrix::from_fn(3, 3, |i, j| if i == j { (3 - i) as f64 } else { 0.0 });
+        let s = jacobi_svd(&a);
+        assert!((s.singular_values[0] - 3.0).abs() < 1e-14);
+        assert!((s.singular_values[1] - 2.0).abs() < 1e-14);
+        assert!((s.singular_values[2] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let b = Matrix::gaussian(20, 3, &mut rng);
+        let c = Matrix::gaussian(3, 8, &mut rng);
+        let a = gemm(Trans::No, &b, Trans::No, &c, 1.0);
+        let s = jacobi_svd(&a);
+        // Ranks beyond 3 are (numerically) zero.
+        for &sv in &s.singular_values[3..] {
+            assert!(sv < 1e-10 * s.singular_values[0]);
+        }
+        let r = reconstruct(&s);
+        assert!(r.max_abs_diff(&a) < 1e-11 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn svd_small_singular_values_accurate() {
+        // Diagonal with huge dynamic range: Jacobi should nail every value.
+        let d = [1.0, 1e-4, 1e-8, 1e-12];
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { d[i] } else { 0.0 });
+        let s = jacobi_svd(&a);
+        for (i, &expect) in d.iter().enumerate() {
+            let got = s.singular_values[i];
+            assert!(
+                (got - expect).abs() <= 1e-12 * expect.max(1e-300) + 1e-300,
+                "sv {i}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_rule_matches_definition() {
+        let sv = vec![10.0, 5.0, 1.0, 0.5, 0.1];
+        // tail after keeping 3: sqrt(0.25 + 0.01) ~ 0.5099
+        let (rank, disc) = truncation_rank(&sv, 0.52);
+        assert_eq!(rank, 3);
+        assert!((disc - (0.25f64 + 0.01).sqrt()).abs() < 1e-14);
+        // Very tight threshold keeps everything.
+        let (rank, _) = truncation_rank(&sv, 1e-12);
+        assert_eq!(rank, 5);
+        // Huge threshold keeps exactly one by convention.
+        let (rank, _) = truncation_rank(&sv, 1e9);
+        assert_eq!(rank, 1);
+    }
+
+    #[test]
+    fn tsvd_respects_threshold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Matrix::gaussian(15, 15, &mut rng);
+        let t = tsvd(&a, 1.0);
+        assert!(t.discarded_norm <= 1.0 + 1e-12);
+        // Error of the truncated reconstruction equals the tail energy
+        // in Frobenius norm.
+        let mut us = t.u.clone();
+        for (j, &s) in t.singular_values.iter().enumerate() {
+            us.scale_col(j, s);
+        }
+        let approx = gemm(Trans::No, &us, Trans::Yes, &t.v, 1.0);
+        let mut diff = approx.clone();
+        diff.axpy(-1.0, &a);
+        assert!((diff.fro_norm() - t.discarded_norm).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,453 @@
+//! Distributed TT-GMRES — the paper's second stated future-work item
+//! (§VI: "we plan to develop a scalable implementation of the TT-based
+//! linear solver that can use our parallel TT-Rounding algorithms").
+//!
+//! Everything the Krylov loop needs already exists in distributed form:
+//! rounding (`tt_core::round::*_dist`), inner products and norms
+//! (`tt_core::dist`). This module adds the two missing pieces under the 1-D
+//! slice distribution:
+//!
+//! * **operator application** ([`DistKroneckerOperator`]): identity and
+//!   diagonal factors act slice-locally (the diagonal is pre-sliced to this
+//!   rank's block); the mode-1 sparse stiffness factor couples slices, so
+//!   the mode-1 core is allgathered (`I₁·R` words), multiplied, and the
+//!   local block kept;
+//! * **preconditioner application** ([`DistMeanPreconditioner`]): same
+//!   allgather, redundant banded solve, keep the local block.
+//!
+//! The allgather-based mode-1 exchange is the simple-and-correct choice
+//! (`β·I₁R` per application); a production implementation would exploit the
+//! stiffness matrix's banded structure with halo exchanges (`β·bw·R`). The
+//! communication structure of the *rounding* — the paper's subject — is
+//! unaffected by this choice.
+
+use crate::gmres::{GmresOptions, GmresTrace, IterationRecord, RoundingMethod, TrueResidualMode};
+use crate::operator::{KroneckerSumOperator, ModeFactor};
+use tt_comm::Communicator;
+use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
+use tt_core::{block_range, GramOrder, RoundingOptions, TtTensor};
+use tt_linalg::Matrix;
+use tt_sparse::BandedCholesky;
+use std::time::Instant;
+
+/// A Kronecker-sum operator prepared for one rank of a 1-D-distributed run.
+pub struct DistKroneckerOperator {
+    /// Per-term, per-mode factors with diagonals pre-sliced to this rank's
+    /// block and sparse factors kept global (they act on the gathered
+    /// mode-1 core).
+    terms: Vec<Vec<ModeFactor>>,
+    global_dims: Vec<usize>,
+}
+
+impl DistKroneckerOperator {
+    /// Prepares the distributed form of `op` for rank `rank` of `p`.
+    pub fn new(op: &KroneckerSumOperator, global_dims: &[usize], p: usize, rank: usize) -> Self {
+        let terms = op
+            .terms()
+            .iter()
+            .map(|term| {
+                term.iter()
+                    .enumerate()
+                    .map(|(k, f)| match f {
+                        ModeFactor::Identity => ModeFactor::Identity,
+                        ModeFactor::Diagonal(d) => {
+                            let range = block_range(global_dims[k], p, rank);
+                            ModeFactor::Diagonal(d[range].to_vec())
+                        }
+                        ModeFactor::Sparse(a) => {
+                            assert_eq!(
+                                k, 0,
+                                "sparse factors are only supported on mode 1 \
+                                 (the cookies structure)"
+                            );
+                            ModeFactor::Sparse(a.clone())
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        DistKroneckerOperator { terms, global_dims: global_dims.to_vec() }
+    }
+
+    /// Applies the operator to this rank's local block of a TT vector
+    /// (formal rank growth, as in the sequential case).
+    pub fn apply(&self, comm: &impl Communicator, x: &TtTensor) -> TtTensor {
+        let mut acc: Option<TtTensor> = None;
+        for term in &self.terms {
+            let mut y = x.clone();
+            for (k, factor) in term.iter().enumerate() {
+                match factor {
+                    ModeFactor::Identity => {}
+                    ModeFactor::Diagonal(_) => {
+                        // Slice-local (diagonal already restricted).
+                        y.apply_mode(k, |m| factor.apply_unfold(m));
+                    }
+                    ModeFactor::Sparse(a) => {
+                        debug_assert_eq!(k, 0);
+                        y = apply_sparse_mode1(comm, &y, a, self.global_dims[0]);
+                    }
+                }
+            }
+            acc = Some(match acc {
+                None => y,
+                Some(prev) => prev.add(&y),
+            });
+        }
+        acc.expect("operator has no terms")
+    }
+}
+
+/// Applies a global sparse matrix to the distributed mode-1 core:
+/// allgather the local vertical unfoldings (mode-1 core has `r0 = 1`, so
+/// the local V is `I₁^loc × R`), multiply, keep the local row block.
+fn apply_sparse_mode1(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    a: &tt_sparse::CsrMatrix,
+    global_i1: usize,
+) -> TtTensor {
+    let core = x.core(0);
+    assert_eq!(core.r0(), 1, "mode-1 core must have unit left rank");
+    let r1 = core.r1();
+    let p = comm.size();
+    let rank = comm.rank();
+
+    // Gather the full I₁ × R unfolding. Ranks own contiguous row blocks,
+    // and allgather concatenates in rank order — but the data is
+    // column-major per rank, so gather column-by-column to keep the
+    // assembly simple and exact.
+    let mut full = Matrix::zeros(global_i1, r1);
+    for c in 0..r1 {
+        let local_col: Vec<f64> = {
+            let v = core.v();
+            v.col(c).to_vec()
+        };
+        let gathered = comm.allgather(&local_col);
+        assert_eq!(gathered.len(), global_i1, "allgather size mismatch");
+        full.col_mut(c).copy_from_slice(&gathered);
+    }
+    let product = a.mat_mul_dense(&full);
+    // Keep this rank's block.
+    let range = block_range(global_i1, p, rank);
+    let local = product.sub_matrix(range.start, 0, range.len(), r1);
+    let mut y = x.clone();
+    *y.core_mut(0) = tt_core::TtCore::from_v(local, 1, range.len(), r1);
+    y
+}
+
+/// The mean preconditioner under the 1-D distribution: allgather the mode-1
+/// core, solve with the banded Cholesky factor redundantly, keep the local
+/// block.
+pub struct DistMeanPreconditioner {
+    factor: BandedCholesky,
+    global_i1: usize,
+}
+
+impl DistMeanPreconditioner {
+    /// Factors the (global) mean matrix; every rank holds the factor.
+    pub fn new(mean_matrix: &tt_sparse::CsrMatrix) -> Self {
+        let factor =
+            BandedCholesky::factor(mean_matrix).expect("mean matrix must be SPD");
+        DistMeanPreconditioner { global_i1: factor.dim(), factor }
+    }
+
+    /// Applies `M⁻¹` to the local block.
+    pub fn apply(&self, comm: &impl Communicator, x: &TtTensor) -> TtTensor {
+        let core = x.core(0);
+        let r1 = core.r1();
+        let p = comm.size();
+        let rank = comm.rank();
+        let mut full = Matrix::zeros(self.global_i1, r1);
+        for c in 0..r1 {
+            let local_col: Vec<f64> = core.v().col(c).to_vec();
+            let gathered = comm.allgather(&local_col);
+            full.col_mut(c).copy_from_slice(&gathered);
+        }
+        self.factor.solve_dense_in_place(&mut full);
+        let range = block_range(self.global_i1, p, rank);
+        let local = full.sub_matrix(range.start, 0, range.len(), r1);
+        let mut y = x.clone();
+        *y.core_mut(0) = tt_core::TtCore::from_v(local, 1, range.len(), r1);
+        y
+    }
+}
+
+fn round_dist(
+    comm: &impl Communicator,
+    method: RoundingMethod,
+    x: &TtTensor,
+    tol: f64,
+) -> TtTensor {
+    let opts = RoundingOptions::with_tolerance(tol);
+    match method {
+        RoundingMethod::Qr => round_qr_dist(comm, x, &opts).0,
+        RoundingMethod::GramRlr => round_gram_seq_dist(comm, x, &opts, GramOrder::Rlr).0,
+        RoundingMethod::GramLrl => round_gram_seq_dist(comm, x, &opts, GramOrder::Lrl).0,
+        RoundingMethod::GramSim => round_gram_sim_dist(comm, x, &opts).0,
+    }
+}
+
+/// Distributed right-preconditioned TT-GMRES over the 1-D slice
+/// distribution: Algorithm 1 with every operation (operator, rounding,
+/// inner products, norms) in its distributed form. Returns this rank's
+/// local block of the solution; every rank computes identical traces.
+pub fn dist_tt_gmres(
+    comm: &impl Communicator,
+    op: &DistKroneckerOperator,
+    precond: &DistMeanPreconditioner,
+    f_local: &TtTensor,
+    opts: &GmresOptions,
+) -> (TtTensor, GmresTrace) {
+    let t_start = Instant::now();
+    let mut rounding_seconds = 0.0;
+    let inner = |a: &TtTensor, b: &TtTensor| tt_core::dist::inner_local(comm, a, b);
+    let norm = |a: &TtTensor| tt_core::dist::norm_local(comm, a);
+
+    let beta = norm(f_local);
+    assert!(beta > 0.0, "zero right-hand side");
+    let mut v1 = f_local.clone();
+    v1.scale(1.0 / beta);
+    let mut basis = vec![v1];
+
+    let m = opts.max_iters;
+    let mut h = Matrix::zeros(m + 1, m);
+    let mut r = beta;
+    let mut iterations = Vec::new();
+    let mut converged = false;
+    let mut n_iters = 0;
+
+    for j in 0..m {
+        let t_iter = Instant::now();
+        let delta = (opts.tolerance * beta / r).min(0.2);
+        let gv = op.apply(comm, &precond.apply(comm, &basis[j]));
+        let t0 = Instant::now();
+        let mut w = round_dist(comm, opts.rounding, &gv, delta);
+        let mut round_iter = t0.elapsed().as_secs_f64();
+
+        let delta_orth = delta / ((j + 1) as f64).sqrt();
+        for (i, vi) in basis.iter().enumerate() {
+            let hij = inner(&w, vi);
+            h[(i, j)] = hij;
+            if hij != 0.0 {
+                let mut scaled = vi.clone();
+                scaled.scale(-hij);
+                let sum = w.add(&scaled);
+                let t0 = Instant::now();
+                w = round_dist(comm, opts.rounding, &sum, delta_orth);
+                round_iter += t0.elapsed().as_secs_f64();
+            }
+        }
+        let wnorm = norm(&w);
+        h[(j + 1, j)] = wnorm;
+        r = crate::gmres::ls_residual(&h, j + 1, beta);
+        n_iters = j + 1;
+        let max_rank = w.max_rank();
+        if wnorm > 0.0 {
+            w.scale(1.0 / wnorm);
+        }
+        basis.push(w);
+
+        rounding_seconds += round_iter;
+        iterations.push(IterationRecord {
+            iter: j + 1,
+            relative_residual: r / beta,
+            max_rank,
+            rounding_seconds: round_iter,
+            total_seconds: t_iter.elapsed().as_secs_f64(),
+        });
+        if r / beta <= opts.tolerance || wnorm == 0.0 {
+            converged = true;
+            break;
+        }
+        if opts.stagnation_window > 0 && iterations.len() > opts.stagnation_window {
+            let now = iterations[iterations.len() - 1].relative_residual;
+            let then = iterations[iterations.len() - 1 - opts.stagnation_window]
+                .relative_residual;
+            if now > 0.999 * then {
+                break;
+            }
+        }
+    }
+
+    let y = crate::gmres::ls_solve(&h, n_iters, beta);
+    let mut w_sol: Option<TtTensor> = None;
+    for (j, &yj) in y.iter().enumerate() {
+        if yj == 0.0 {
+            continue;
+        }
+        let mut term = basis[j].clone();
+        term.scale(yj);
+        w_sol = Some(match w_sol {
+            None => term,
+            Some(acc) => acc.add(&term),
+        });
+    }
+    let w_sol = w_sol.unwrap_or_else(|| {
+        let mut z = f_local.clone();
+        z.scale(0.0);
+        z
+    });
+    let t0 = Instant::now();
+    let w_sol = round_dist(comm, opts.rounding, &w_sol, opts.tolerance);
+    rounding_seconds += t0.elapsed().as_secs_f64();
+    let u = precond.apply(comm, &w_sol);
+
+    let true_rel = match opts.true_residual {
+        TrueResidualMode::Off => f64::NAN,
+        _ => {
+            let gu = op.apply(comm, &u);
+            let diff = f_local.sub(&gu);
+            norm(&diff) / beta
+        }
+    };
+    let trace = GmresTrace {
+        converged,
+        computed_relative_residual: r / beta,
+        true_relative_residual: true_rel,
+        rounding_seconds,
+        total_seconds: t_start.elapsed().as_secs_f64(),
+        solution_max_rank: u.max_rank(),
+        iterations,
+    };
+    (u, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::MeanPreconditioner;
+    use crate::{tt_gmres, IdentityPreconditioner, Preconditioner, TtOperator};
+    use tt_comm::{SelfComm, ThreadComm};
+    use tt_core::{gather_tensor, scatter_tensor};
+    use tt_sparse::{CooBuilder, CsrMatrix};
+
+    fn tridiag(n: usize, diag: f64) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, diag);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn system() -> (KroneckerSumOperator, TtTensor, CsrMatrix, Vec<usize>) {
+        let n1 = 12;
+        let n2 = 5;
+        let rho: Vec<f64> = (0..n2).map(|i| 0.3 + 0.4 * i as f64).collect();
+        let a = tridiag(n1, 4.0);
+        let b = tridiag(n1, 2.0);
+        let mut op = KroneckerSumOperator::new();
+        op.add_term(vec![ModeFactor::Sparse(a.clone()), ModeFactor::Identity]);
+        op.add_term(vec![ModeFactor::Sparse(b.clone()), ModeFactor::Diagonal(rho.clone())]);
+        let mean_rho = rho.iter().sum::<f64>() / rho.len() as f64;
+        let mean = a.add_scaled(mean_rho, &b);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let f = TtTensor::random(&[n1, n2], &[2], &mut rng);
+        (op, f, mean, vec![n1, n2])
+    }
+
+    #[test]
+    fn distributed_operator_matches_sequential() {
+        let (op, f, _, dims) = system();
+        let seq = op.apply(&f);
+        for p in [1usize, 2, 3] {
+            let (op2, f2, dims2) = (op.clone(), f.clone(), dims.clone());
+            let gathered = ThreadComm::run(p, |comm| {
+                let dop = DistKroneckerOperator::new(&op2, &dims2, p, comm.rank());
+                let local = scatter_tensor(&f2, &comm);
+                let y = dop.apply(&comm, &local);
+                gather_tensor(&y, &dims2, &comm)
+            });
+            for g in gathered {
+                let gap = g.to_dense().fro_dist(&seq.to_dense());
+                assert!(gap < 1e-10 * (1.0 + seq.norm()), "p={p}: {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_preconditioner_matches_sequential() {
+        let (_, f, mean, dims) = system();
+        let seq = MeanPreconditioner::new(&mean).apply(&f);
+        for p in [2usize, 4] {
+            let (f2, mean2, dims2) = (f.clone(), mean.clone(), dims.clone());
+            let gathered = ThreadComm::run(p, |comm| {
+                let pre = DistMeanPreconditioner::new(&mean2);
+                let local = scatter_tensor(&f2, &comm);
+                let y = pre.apply(&comm, &local);
+                gather_tensor(&y, &dims2, &comm)
+            });
+            for g in gathered {
+                let gap = g.to_dense().fro_dist(&seq.to_dense());
+                assert!(gap < 1e-9 * (1.0 + seq.norm()), "p={p}: {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_gmres_matches_sequential() {
+        let (op, f, mean, dims) = system();
+        let opts = GmresOptions {
+            tolerance: 1e-7,
+            max_iters: 40,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Tt,
+            stagnation_window: 5,
+            restart: None,
+        };
+        // Sequential reference (same algorithm through SelfComm).
+        let comm = SelfComm::new();
+        let dop = DistKroneckerOperator::new(&op, &dims, 1, 0);
+        let pre = DistMeanPreconditioner::new(&mean);
+        let (u_seq, tr_seq) = dist_tt_gmres(&comm, &dop, &pre, &f, &opts);
+        assert!(tr_seq.converged);
+        // ... which must agree with the plain sequential solver.
+        let (u_plain, _) = tt_gmres(
+            &op,
+            &MeanPreconditioner::new(&mean),
+            &f,
+            &opts,
+        );
+        let gap = u_seq.to_dense().fro_dist(&u_plain.to_dense());
+        assert!(gap < 1e-5 * (1.0 + u_plain.norm()), "self-comm vs sequential: {gap}");
+
+        for p in [2usize, 3] {
+            let (op2, f2, mean2, dims2, opts2) =
+                (op.clone(), f.clone(), mean.clone(), dims.clone(), opts.clone());
+            let results = ThreadComm::run(p, |comm| {
+                let dop = DistKroneckerOperator::new(&op2, &dims2, p, comm.rank());
+                let pre = DistMeanPreconditioner::new(&mean2);
+                let local = scatter_tensor(&f2, &comm);
+                let (u, tr) = dist_tt_gmres(&comm, &dop, &pre, &local, &opts2);
+                (gather_tensor(&u, &dims2, &comm), tr.converged, tr.iterations.len())
+            });
+            for (g, conv, iters) in results {
+                assert!(conv, "p={p} did not converge");
+                assert_eq!(iters, tr_seq.iterations.len(), "p={p}: iteration count");
+                let gap = g.to_dense().fro_dist(&u_seq.to_dense());
+                assert!(gap < 1e-6 * (1.0 + u_seq.norm()), "p={p}: solution gap {gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpreconditioned_reference_still_solves() {
+        // Sanity anchor: the plain sequential solver agrees with the
+        // distributed one even without preconditioning quality at stake.
+        let (op, f, _, _) = system();
+        let opts = GmresOptions {
+            tolerance: 1e-6,
+            max_iters: 60,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Dense,
+            stagnation_window: 5,
+            restart: None,
+        };
+        let (_, tr) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        assert!(tr.converged);
+    }
+}

@@ -1,0 +1,629 @@
+//! TT-GMRES — Algorithm 1 of the paper (Dolgov [8]).
+//!
+//! A full-orthogonalization GMRES over TT vectors in which every Krylov
+//! vector is compressed by TT-Rounding with an adaptive tolerance
+//! `δ = ε·β/r` (looser as the residual drops — the "inexact Krylov"
+//! relaxation). The rounding algorithm is pluggable ([`RoundingMethod`]),
+//! which is exactly the §V-D experiment: swapping QR-based rounding for
+//! Gram-SVD rounding inside an otherwise identical solver.
+
+use std::time::Instant;
+
+use crate::operator::TtOperator;
+use crate::precond::Preconditioner;
+use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
+use tt_core::{GramOrder, RoundingOptions, TtTensor};
+use tt_linalg::{householder_qr, solve_upper, Matrix};
+
+/// Which TT-Rounding algorithm the solver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundingMethod {
+    /// Orthogonalization-based rounding (Alg. 2) — the baseline.
+    Qr,
+    /// Gram-SVD sequence variant, RLR ordering (Alg. 6).
+    GramRlr,
+    /// Gram-SVD sequence variant, LRL ordering.
+    GramLrl,
+    /// Gram-SVD simultaneous variant (Alg. 5).
+    GramSim,
+}
+
+impl RoundingMethod {
+    /// Rounds `x` to relative accuracy `tol`.
+    pub fn round(&self, x: &TtTensor, tol: f64) -> TtTensor {
+        let comm = tt_comm::SelfComm::new();
+        let opts = RoundingOptions::with_tolerance(tol);
+        match self {
+            RoundingMethod::Qr => round_qr_dist(&comm, x, &opts).0,
+            RoundingMethod::GramRlr => round_gram_seq_dist(&comm, x, &opts, GramOrder::Rlr).0,
+            RoundingMethod::GramLrl => round_gram_seq_dist(&comm, x, &opts, GramOrder::Lrl).0,
+            RoundingMethod::GramSim => round_gram_sim_dist(&comm, x, &opts).0,
+        }
+    }
+
+    /// Short display name (matches the paper's legends).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoundingMethod::Qr => "QR",
+            RoundingMethod::GramRlr => "Gram-RLR",
+            RoundingMethod::GramLrl => "Gram-LRL",
+            RoundingMethod::GramSim => "Gram-Sim",
+        }
+    }
+}
+
+/// How (and whether) to compute the true residual at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrueResidualMode {
+    /// Skip (large problems).
+    Off,
+    /// Via TT arithmetic (fast; accuracy floored at `√ε·‖F‖` by
+    /// inner-product cancellation).
+    Tt,
+    /// Via dense materialization (exact; tiny problems only).
+    Dense,
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct GmresOptions {
+    /// Relative residual tolerance ε (also enters the rounding tolerance).
+    pub tolerance: f64,
+    /// Maximum Krylov dimension `m` (no restarting, per Alg. 1).
+    pub max_iters: usize,
+    /// The TT-Rounding algorithm to use.
+    pub rounding: RoundingMethod,
+    /// How to compute the final true residual.
+    pub true_residual: TrueResidualMode,
+    /// Stop early if the computed residual improves by less than 0.1% over
+    /// this many consecutive iterations (stagnation at the TT-arithmetic
+    /// noise floor; 0 disables the guard).
+    pub stagnation_window: usize,
+    /// `Some(m)`: restarted GMRES(m) — bound the Krylov basis at `m`
+    /// vectors, restarting from the explicit residual (`max_iters` then
+    /// caps the *total* inner iterations). `None` (the default and Alg. 1's
+    /// formulation): one full cycle.
+    pub restart: Option<usize>,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions {
+            tolerance: 1e-5,
+            max_iters: 50,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Tt,
+            stagnation_window: 5,
+            restart: None,
+        }
+    }
+}
+
+/// Per-iteration diagnostics (the data behind Figs. 5b and 6).
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// 1-based iteration index `j`.
+    pub iter: usize,
+    /// Computed relative residual `r/β` after this iteration (from the
+    /// small least-squares problem, line 11 of Alg. 1).
+    pub relative_residual: f64,
+    /// Maximum TT rank of the Krylov vector `V_{j+1}` built this iteration.
+    pub max_rank: usize,
+    /// Seconds spent inside TT-Rounding this iteration.
+    pub rounding_seconds: f64,
+    /// Total seconds for this iteration.
+    pub total_seconds: f64,
+}
+
+/// Full solve diagnostics.
+#[derive(Debug, Clone)]
+pub struct GmresTrace {
+    /// One record per iteration performed.
+    pub iterations: Vec<IterationRecord>,
+    /// Whether the computed residual met the tolerance.
+    pub converged: bool,
+    /// Final computed relative residual.
+    pub computed_relative_residual: f64,
+    /// Final true relative residual `‖F − G·u‖/‖F‖` (`NaN` when
+    /// [`TrueResidualMode::Off`]).
+    pub true_relative_residual: f64,
+    /// Total seconds inside TT-Rounding.
+    pub rounding_seconds: f64,
+    /// Total solve seconds.
+    pub total_seconds: f64,
+    /// Maximum TT rank of the returned solution.
+    pub solution_max_rank: usize,
+}
+
+impl GmresTrace {
+    /// Largest Krylov-vector TT rank over the whole solve (paper Fig. 6,
+    /// dashed lines).
+    pub fn max_krylov_rank(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|r| r.max_rank)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Right-preconditioned TT-GMRES: solves `G M⁻¹ w = F`, returns
+/// `u = M⁻¹ w` (so residual norms are those of the original system).
+///
+/// Follows Alg. 1 line by line, with the Krylov basis kept in TT format and
+/// every new basis vector rounded twice (after the operator application and
+/// after orthogonalization) at the adaptive tolerance `δ = ε·β/r`.
+pub fn tt_gmres(
+    op: &dyn TtOperator,
+    precond: &dyn Preconditioner,
+    f: &TtTensor,
+    opts: &GmresOptions,
+) -> (TtTensor, GmresTrace) {
+    if let Some(m) = opts.restart {
+        return tt_gmres_restarted(op, precond, f, opts, m);
+    }
+    let t_start = Instant::now();
+    let mut rounding_seconds = 0.0;
+
+    let beta = f.norm();
+    assert!(beta > 0.0, "zero right-hand side");
+    let mut v1 = f.clone();
+    v1.scale(1.0 / beta);
+    let mut basis: Vec<TtTensor> = vec![v1];
+
+    // H stored column-major as a growing dense matrix (m+1) × m.
+    let m = opts.max_iters;
+    let mut h = Matrix::zeros(m + 1, m);
+    let mut r = beta;
+    let mut iterations = Vec::new();
+    let mut converged = false;
+    let mut n_iters = 0;
+
+    for j in 0..m {
+        let t_iter = Instant::now();
+        // Adaptive inexact-Krylov rounding tolerance (Alg. 1 line 4), capped
+        // so late-iteration Krylov vectors retain enough accuracy to finish
+        // the last fraction of the residual reduction.
+        let delta = (opts.tolerance * beta / r).min(0.2);
+
+        // Line 5: W = round(G M⁻¹ V_j, δ).
+        let gv = op.apply(&precond.apply(&basis[j]));
+        let t0 = Instant::now();
+        let mut w = opts.rounding.round(&gv, delta);
+        let mut round_iter = t0.elapsed().as_secs_f64();
+
+        // Lines 6–9: Gram–Schmidt orthogonalization with rounding. Alg. 1
+        // writes the classical form (one formal sum of j+1 tensors, one
+        // rounding); practical TT-GMRES implementations (Dolgov [8],
+        // TT-Toolbox) use *modified* Gram–Schmidt with rounding after each
+        // subtraction — the formal rank stays at rank(W) + rank(V_i)
+        // instead of growing linearly in j, and the coefficients are the
+        // same in exact arithmetic. The per-subtraction tolerance is
+        // δ/√(j+1): the j+1 rounding perturbations are uncorrelated, so
+        // they accumulate in quadrature and the iteration's total stays
+        // ~δ without over-tightening (which needlessly inflates the
+        // Krylov ranks).
+        let delta_orth = delta / ((j + 1) as f64).sqrt();
+        for (i, vi) in basis.iter().enumerate() {
+            let hij = w.inner(vi);
+            h[(i, j)] = hij;
+            if hij != 0.0 {
+                let mut scaled = vi.clone();
+                scaled.scale(-hij);
+                let sum = w.add(&scaled);
+                let t0 = Instant::now();
+                w = opts.rounding.round(&sum, delta_orth);
+                round_iter += t0.elapsed().as_secs_f64();
+            }
+        }
+
+        // Line 10.
+        let wnorm = w.norm();
+        h[(j + 1, j)] = wnorm;
+
+        // Line 11: small least-squares residual.
+        r = ls_residual(&h, j + 1, beta);
+        n_iters = j + 1;
+
+        // Line 12.
+        let max_rank = w.max_rank();
+        if wnorm > 0.0 {
+            w.scale(1.0 / wnorm);
+        }
+        basis.push(w);
+
+        rounding_seconds += round_iter;
+        iterations.push(IterationRecord {
+            iter: j + 1,
+            relative_residual: r / beta,
+            max_rank,
+            rounding_seconds: round_iter,
+            total_seconds: t_iter.elapsed().as_secs_f64(),
+        });
+
+        if r / beta <= opts.tolerance || wnorm == 0.0 {
+            converged = true;
+            break;
+        }
+        // Stagnation guard: TT inner products have a cancellation floor of
+        // roughly √ε·‖F‖; once the residual stalls there, further iterations
+        // only grow the Krylov ranks.
+        if opts.stagnation_window > 0 && iterations.len() > opts.stagnation_window {
+            let now = iterations[iterations.len() - 1].relative_residual;
+            let then = iterations[iterations.len() - 1 - opts.stagnation_window].relative_residual;
+            if now > 0.999 * then {
+                break;
+            }
+        }
+    }
+
+    // Lines 14–15: assemble the solution from the minimizer.
+    let y = ls_solve(&h, n_iters, beta);
+    let mut w_sol: Option<TtTensor> = None;
+    for (j, &yj) in y.iter().enumerate() {
+        if yj == 0.0 {
+            continue;
+        }
+        let mut term = basis[j].clone();
+        term.scale(yj);
+        w_sol = Some(match w_sol {
+            None => term,
+            Some(acc) => acc.add(&term),
+        });
+    }
+    let w_sol = w_sol.unwrap_or_else(|| {
+        let mut z = f.clone();
+        z.scale(0.0);
+        z
+    });
+    let t0 = Instant::now();
+    let w_sol = opts.rounding.round(&w_sol, opts.tolerance);
+    rounding_seconds += t0.elapsed().as_secs_f64();
+    // Undo the right preconditioning.
+    let u = precond.apply(&w_sol);
+
+    // True residual.
+    let true_rel = match opts.true_residual {
+        TrueResidualMode::Off => f64::NAN,
+        TrueResidualMode::Tt => {
+            let gu = op.apply(&u);
+            f.sub(&gu).norm() / beta
+        }
+        TrueResidualMode::Dense => {
+            let gu = op.apply(&u).to_dense();
+            f.to_dense().fro_dist(&gu) / beta
+        }
+    };
+
+    let trace = GmresTrace {
+        converged,
+        computed_relative_residual: r / beta,
+        true_relative_residual: true_rel,
+        rounding_seconds,
+        total_seconds: t_start.elapsed().as_secs_f64(),
+        solution_max_rank: u.max_rank(),
+        iterations,
+    };
+    (u, trace)
+}
+
+/// Restarted GMRES(m): repeated single cycles from the explicit residual.
+fn tt_gmres_restarted(
+    op: &dyn TtOperator,
+    precond: &dyn Preconditioner,
+    f: &TtTensor,
+    opts: &GmresOptions,
+    m: usize,
+) -> (TtTensor, GmresTrace) {
+    assert!(m >= 1, "restart length must be positive");
+    let t_start = Instant::now();
+    let beta0 = f.norm();
+    assert!(beta0 > 0.0, "zero right-hand side");
+
+    let mut inner_opts = opts.clone();
+    inner_opts.restart = None;
+    inner_opts.true_residual = TrueResidualMode::Off;
+
+    let mut u: Option<TtTensor> = None;
+    let mut r = f.clone();
+    let mut rel = 1.0;
+    let mut iterations: Vec<IterationRecord> = Vec::new();
+    let mut rounding_seconds = 0.0;
+    let mut converged = false;
+
+    while iterations.len() < opts.max_iters {
+        inner_opts.max_iters = m.min(opts.max_iters - iterations.len());
+        // Inner tolerance relative to the *current* residual so the cycle
+        // targets the remaining reduction.
+        inner_opts.tolerance = (opts.tolerance / rel).min(0.5);
+        let (du, cycle) = tt_gmres(op, precond, &r, &inner_opts);
+        rounding_seconds += cycle.rounding_seconds;
+        // Record the cycle's iterations rescaled to the global residual.
+        let offset = iterations.len();
+        for it in &cycle.iterations {
+            iterations.push(IterationRecord {
+                iter: offset + it.iter,
+                relative_residual: it.relative_residual * rel,
+                max_rank: it.max_rank,
+                rounding_seconds: it.rounding_seconds,
+                total_seconds: it.total_seconds,
+            });
+        }
+        // u += du, rounded at the outer tolerance.
+        let new_u = match &u {
+            None => du,
+            Some(prev) => {
+                let sum = prev.add(&du);
+                let t0 = Instant::now();
+                let rounded = opts.rounding.round(&sum, opts.tolerance);
+                rounding_seconds += t0.elapsed().as_secs_f64();
+                rounded
+            }
+        };
+        // Explicit restart residual r = F − G u.
+        let gu = op.apply(&new_u);
+        let diff = f.sub(&gu);
+        let t0 = Instant::now();
+        r = opts.rounding.round(&diff, (opts.tolerance * 0.1).max(1e-14));
+        rounding_seconds += t0.elapsed().as_secs_f64();
+        u = Some(new_u);
+        rel = r.norm() / beta0;
+        if rel <= opts.tolerance {
+            converged = true;
+            break;
+        }
+        if cycle.iterations.is_empty() {
+            break; // safety: no progress possible
+        }
+    }
+
+    let u = u.unwrap_or_else(|| {
+        let mut z = f.clone();
+        z.scale(0.0);
+        z
+    });
+    let true_rel = match opts.true_residual {
+        TrueResidualMode::Off => f64::NAN,
+        TrueResidualMode::Tt => {
+            let gu = op.apply(&u);
+            f.sub(&gu).norm() / beta0
+        }
+        TrueResidualMode::Dense => {
+            let gu = op.apply(&u).to_dense();
+            f.to_dense().fro_dist(&gu) / beta0
+        }
+    };
+    let trace = GmresTrace {
+        converged,
+        computed_relative_residual: rel,
+        true_relative_residual: true_rel,
+        rounding_seconds,
+        total_seconds: t_start.elapsed().as_secs_f64(),
+        solution_max_rank: u.max_rank(),
+        iterations,
+    };
+    (u, trace)
+}
+
+/// Residual of `min_y ‖H(1:j+1, 1:j) y − β e₁‖`.
+pub(crate) fn ls_residual(h: &Matrix, j: usize, beta: f64) -> f64 {
+    let (qt_rhs, _) = ls_qr(h, j, beta);
+    qt_rhs[(j, 0)].abs()
+}
+
+/// Minimizer `y` of the small least-squares problem.
+pub(crate) fn ls_solve(h: &Matrix, j: usize, beta: f64) -> Vec<f64> {
+    let (mut qt_rhs, r) = ls_qr(h, j, beta);
+    let mut rhs = Matrix::from_fn(j, 1, |i, _| qt_rhs[(i, 0)]);
+    let r_sq = r.sub_matrix(0, 0, j, j);
+    solve_upper(&r_sq, &mut rhs);
+    qt_rhs = rhs;
+    (0..j).map(|i| qt_rhs[(i, 0)]).collect()
+}
+
+/// QR of the leading `(j+1) × j` block of `H`, returning `(Qᵀ·βe₁, R)`.
+fn ls_qr(h: &Matrix, j: usize, beta: f64) -> (Matrix, Matrix) {
+    let hj = h.sub_matrix(0, 0, j + 1, j);
+    let f = householder_qr(&hj);
+    let mut rhs = Matrix::zeros(j + 1, 1);
+    rhs[(0, 0)] = beta;
+    f.apply_qt(&mut rhs);
+    (rhs, f.r())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{KroneckerSumOperator, ModeFactor};
+    use crate::precond::{IdentityPreconditioner, MeanPreconditioner};
+    use rand::SeedableRng;
+    use tt_sparse::{CooBuilder, CsrMatrix};
+
+    fn tridiag(n: usize, diag: f64) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, diag);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    /// A small SPD parametrized system:
+    /// G = A ⊗ I + B ⊗ diag(ρ), both terms SPD-ish.
+    fn small_system() -> (KroneckerSumOperator, TtTensor) {
+        let n1 = 12;
+        let n2 = 5;
+        let mut op = KroneckerSumOperator::new();
+        op.add_term(vec![
+            ModeFactor::Sparse(tridiag(n1, 4.0)),
+            ModeFactor::Identity,
+        ]);
+        op.add_term(vec![
+            ModeFactor::Sparse(tridiag(n1, 2.5)),
+            ModeFactor::Diagonal((0..n2).map(|i| 0.1 + 0.2 * i as f64).collect()),
+        ]);
+        // RHS: rank-one f ⊗ 1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut f = TtTensor::random(&[n1, n2], &[1], &mut rng);
+        // make the second core all ones
+        let ones = tt_linalg::Matrix::from_fn(n2, 1, |_, _| 1.0);
+        f.set_core(1, tt_core::TtCore::from_v(ones, 1, n2, 1));
+        (op, f)
+    }
+
+    fn check_solution(op: &KroneckerSumOperator, f: &TtTensor, u: &TtTensor, tol: f64) {
+        let gu = crate::operator::TtOperator::apply(op, u);
+        let res = f.to_dense().fro_dist(&gu.to_dense()) / f.norm();
+        assert!(res <= tol * 10.0, "true residual {res} vs tol {tol}");
+    }
+
+    #[test]
+    fn gmres_solves_small_system_all_roundings() {
+        let (op, f) = small_system();
+        for method in [
+            RoundingMethod::Qr,
+            RoundingMethod::GramRlr,
+            RoundingMethod::GramLrl,
+            RoundingMethod::GramSim,
+        ] {
+            let opts = GmresOptions {
+                tolerance: 1e-6,
+                max_iters: 60,
+                rounding: method,
+                true_residual: TrueResidualMode::Dense,
+                stagnation_window: 5,
+                restart: None,
+            };
+            let (u, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+            assert!(trace.converged, "{method:?} did not converge: {trace:?}");
+            // Inexact Krylov: the true residual trails the computed one by a
+            // modest factor (the paper's own §V-D2 tables show 3.6x-40x).
+            assert!(
+                trace.true_relative_residual <= 5e-5,
+                "{method:?}: true residual {}",
+                trace.true_relative_residual
+            );
+            check_solution(&op, &f, &u, 5e-5);
+        }
+    }
+
+    #[test]
+    fn mean_preconditioner_accelerates() {
+        let (op, f) = small_system();
+        // Mean operator: A + mean(ρ)·B.
+        let mean_rho: f64 = (0..5).map(|i| 0.1 + 0.2 * i as f64).sum::<f64>() / 5.0;
+        let mean = tridiag(12, 4.0).add_scaled(mean_rho, &tridiag(12, 2.5));
+        let pre = MeanPreconditioner::new(&mean);
+        let opts = GmresOptions {
+            tolerance: 1e-6,
+            max_iters: 60,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Dense,
+            stagnation_window: 5,
+            restart: None,
+        };
+        let (_, plain) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        let (_, pred) = tt_gmres(&op, &pre, &f, &opts);
+        assert!(pred.converged);
+        assert!(
+            pred.iterations.len() < plain.iterations.len(),
+            "preconditioner should reduce iterations: {} vs {}",
+            pred.iterations.len(),
+            plain.iterations.len()
+        );
+        assert!(pred.true_relative_residual <= 1e-5);
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_in_one_iteration() {
+        // Single-term operator G = A ⊗ I with M = A: GM⁻¹ = I.
+        let n1 = 10;
+        let a = tridiag(n1, 3.0);
+        let mut op = KroneckerSumOperator::new();
+        op.add_term(vec![ModeFactor::Sparse(a.clone()), ModeFactor::Identity]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let f = TtTensor::random(&[n1, 4], &[2], &mut rng);
+        let pre = MeanPreconditioner::new(&a);
+        let opts = GmresOptions {
+            tolerance: 1e-8,
+            max_iters: 10,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Dense,
+            stagnation_window: 5,
+            restart: None,
+        };
+        let (_, trace) = tt_gmres(&op, &pre, &f, &opts);
+        assert!(trace.converged);
+        assert!(
+            trace.iterations.len() <= 2,
+            "{} iterations",
+            trace.iterations.len()
+        );
+        assert!(trace.true_relative_residual <= 1e-7);
+    }
+
+    #[test]
+    fn residual_history_is_monotone_nonincreasing() {
+        let (op, f) = small_system();
+        let opts = GmresOptions {
+            tolerance: 1e-6,
+            max_iters: 40,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Off,
+            stagnation_window: 5,
+            restart: None,
+        };
+        let (_, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        for w in trace.iterations.windows(2) {
+            assert!(
+                w[1].relative_residual <= w[0].relative_residual * (1.0 + 1e-8),
+                "GMRES residual increased: {} -> {}",
+                w[0].relative_residual,
+                w[1].relative_residual
+            );
+        }
+    }
+
+    #[test]
+    fn restarted_gmres_converges_with_bounded_basis() {
+        let (op, f) = small_system();
+        let opts = GmresOptions {
+            tolerance: 1e-6,
+            max_iters: 80,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Dense,
+            stagnation_window: 5,
+            restart: Some(6),
+        };
+        let (_, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        assert!(trace.converged, "restarted GMRES failed: {:?}", trace.computed_relative_residual);
+        assert!(trace.true_relative_residual < 1e-4);
+        // Restart cost: typically more total iterations than full GMRES.
+        let full = GmresOptions { restart: None, ..opts };
+        let (_, full_trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &full);
+        assert!(trace.iterations.len() >= full_trace.iterations.len());
+    }
+
+    #[test]
+    fn trace_records_ranks_and_times() {
+        let (op, f) = small_system();
+        let opts = GmresOptions {
+            tolerance: 1e-4,
+            max_iters: 30,
+            rounding: RoundingMethod::Qr,
+            true_residual: TrueResidualMode::Tt,
+            stagnation_window: 5,
+            restart: None,
+        };
+        let (u, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        assert!(!trace.iterations.is_empty());
+        assert!(trace.iterations.iter().all(|r| r.max_rank >= 1));
+        assert!(trace.rounding_seconds >= 0.0);
+        assert!(trace.total_seconds >= trace.rounding_seconds);
+        assert_eq!(trace.solution_max_rank, u.max_rank());
+        assert!(trace.true_relative_residual.is_finite());
+    }
+}

@@ -1,0 +1,19 @@
+//! TT-structured linear solvers.
+//!
+//! Implements TT-GMRES (Dolgov [8], Algorithm 1 of the paper) with pluggable
+//! TT-Rounding — the application through which the paper evaluates its
+//! Gram-SVD rounding end-to-end (§V-D) — together with the low-operator-rank
+//! Kronecker-sum operators of parametrized PDEs and the rank-one *mean
+//! preconditioner* of Kressner–Tobler [26].
+
+pub mod dist_gmres;
+pub mod gmres;
+pub mod operator;
+pub mod precond;
+pub mod richardson;
+
+pub use dist_gmres::{dist_tt_gmres, DistKroneckerOperator, DistMeanPreconditioner};
+pub use gmres::{tt_gmres, GmresOptions, GmresTrace, IterationRecord, RoundingMethod};
+pub use operator::{KroneckerSumOperator, ModeFactor, TtOperator};
+pub use precond::{IdentityPreconditioner, MeanPreconditioner, Preconditioner};
+pub use richardson::{tt_richardson, RichardsonOptions, RichardsonTrace};

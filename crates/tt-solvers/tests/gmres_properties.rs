@@ -1,0 +1,98 @@
+//! Property tests for TT-GMRES on randomly generated SPD Kronecker systems.
+
+use proptest::prelude::*;
+use tt_solvers::gmres::TrueResidualMode;
+use tt_solvers::{
+    tt_gmres, GmresOptions, IdentityPreconditioner, KroneckerSumOperator, ModeFactor,
+    RoundingMethod, TtOperator,
+};
+use tt_sparse::{CooBuilder, CsrMatrix};
+
+/// Diagonally dominant symmetric tridiagonal matrix (SPD).
+fn spd_tridiag(n: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state % 100) as f64) / 100.0
+    };
+    let mut b = CooBuilder::new(n, n);
+    for i in 0..n {
+        let off = if i + 1 < n { -(0.5 + 0.5 * next()) } else { 0.0 };
+        if i + 1 < n {
+            b.add(i, i + 1, off);
+            b.add(i + 1, i, off);
+        }
+        b.add(i, i, 2.5 + next());
+    }
+    b.build()
+}
+
+/// A small SPD two-term Kronecker operator on random dimensions.
+fn random_system(
+    n1: usize,
+    n2: usize,
+    seed: u64,
+) -> (KroneckerSumOperator, tt_core::TtTensor) {
+    let mut op = KroneckerSumOperator::new();
+    op.add_term(vec![ModeFactor::Sparse(spd_tridiag(n1, seed)), ModeFactor::Identity]);
+    let diag: Vec<f64> = (0..n2).map(|i| 0.2 + (i as f64) * 0.3).collect();
+    op.add_term(vec![
+        ModeFactor::Sparse(spd_tridiag(n1, seed.wrapping_add(3))),
+        ModeFactor::Diagonal(diag),
+    ]);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(7));
+    let f = tt_core::TtTensor::random(&[n1, n2], &[1], &mut rng);
+    (op, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// TT-GMRES solves random SPD Kronecker systems to tolerance (true
+    /// residual within the paper-observed inexactness factor).
+    #[test]
+    fn gmres_solves_random_spd(n1 in 4usize..12, n2 in 2usize..5, seed in any::<u64>()) {
+        let (op, f) = random_system(n1, n2, seed);
+        let opts = GmresOptions {
+            tolerance: 1e-6,
+            max_iters: 60,
+            rounding: RoundingMethod::GramLrl,
+            true_residual: TrueResidualMode::Dense,
+            stagnation_window: 8,
+            restart: None,
+        };
+        let (u, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
+        prop_assert!(trace.converged, "{:?}", trace.computed_relative_residual);
+        prop_assert!(trace.true_relative_residual < 1e-4,
+            "true residual {}", trace.true_relative_residual);
+        // Residual identity holds densely.
+        let gu = op.apply(&u);
+        let resid = f.to_dense().fro_dist(&gu.to_dense()) / f.norm();
+        prop_assert!(resid < 1e-4, "{resid}");
+    }
+
+    /// QR-based and Gram-based rounding give the same solve (within the
+    /// inexactness budget) on the same system.
+    #[test]
+    fn rounding_choice_does_not_change_solution(n1 in 4usize..10, seed in any::<u64>()) {
+        let (op, f) = random_system(n1, 3, seed);
+        let mk = |method| GmresOptions {
+            tolerance: 1e-7,
+            max_iters: 60,
+            rounding: method,
+            true_residual: TrueResidualMode::Off,
+            stagnation_window: 8,
+            restart: None,
+        };
+        let (u_qr, t_qr) = tt_gmres(&op, &IdentityPreconditioner, &f, &mk(RoundingMethod::Qr));
+        let (u_gr, t_gr) =
+            tt_gmres(&op, &IdentityPreconditioner, &f, &mk(RoundingMethod::GramLrl));
+        prop_assert!(t_qr.converged && t_gr.converged);
+        let gap = u_qr.to_dense().fro_dist(&u_gr.to_dense());
+        let scale = 1.0 + u_qr.norm();
+        prop_assert!(gap < 1e-4 * scale, "solutions diverged: {gap}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Sparse-matrix substrate for the cookies-problem discretization.
+//!
+//! The paper's application experiments (§V-D) solve a parametrized diffusion
+//! PDE whose mode-1 operator blocks are large sparse SPD stiffness matrices;
+//! the mean preconditioner requires *solving* with one of them on every
+//! application. This crate provides the three pieces that requires:
+//!
+//! * [`CsrMatrix`] — compressed-sparse-row storage with matrix–(multi)vector
+//!   products (the operator application inside TT-GMRES),
+//! * [`BandedCholesky`] — an exact direct solver for the banded SPD systems a
+//!   uniform-grid finite-difference discretization produces (substituting
+//!   for the sparse direct solves FreeFem++/MATLAB performed in the paper),
+//! * [`conjugate_gradient`] — Jacobi-preconditioned CG as the
+//!   matrix-structure-agnostic alternative.
+
+pub mod banded;
+pub mod cg;
+pub mod csr;
+
+pub use banded::BandedCholesky;
+pub use cg::{conjugate_gradient, CgOutcome};
+pub use csr::{CooBuilder, CsrMatrix};

@@ -1,0 +1,96 @@
+//! Property tests for the sparse substrate: the banded direct solver and CG
+//! must agree on random SPD banded systems, and CSR algebra must match its
+//! dense shadow.
+
+use proptest::prelude::*;
+use tt_sparse::{conjugate_gradient, BandedCholesky, CooBuilder, CsrMatrix};
+
+/// Random diagonally-dominant symmetric banded matrix (hence SPD).
+fn random_spd_banded(n: usize, bw: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64 / 500.0 - 1.0
+    };
+    let mut b = CooBuilder::new(n, n);
+    let mut row_sums = vec![0.0f64; n];
+    for i in 0..n {
+        for j in i + 1..(i + bw + 1).min(n) {
+            let v = next();
+            b.add(i, j, v);
+            b.add(j, i, v);
+            row_sums[i] += v.abs();
+            row_sums[j] += v.abs();
+        }
+    }
+    for (i, s) in row_sums.iter().enumerate() {
+        b.add(i, i, s + 1.0);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Direct banded solve and Jacobi-CG agree.
+    #[test]
+    fn direct_and_cg_agree(n in 2usize..40, bw in 1usize..5, seed in any::<u64>()) {
+        let a = random_spd_banded(n, bw, seed);
+        let rhs: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
+        let f = BandedCholesky::factor(&a).expect("diagonally dominant => SPD");
+        let mut direct = rhs.clone();
+        f.solve_in_place(&mut direct);
+        let mut iterative = vec![0.0; n];
+        let out = conjugate_gradient(&a, &rhs, &mut iterative, 1e-12, 10 * n + 50);
+        prop_assert!(out.converged, "{out:?}");
+        for i in 0..n {
+            prop_assert!((direct[i] - iterative[i]).abs() <= 1e-7 * (1.0 + direct[i].abs()));
+        }
+    }
+
+    /// Solving then multiplying returns the right-hand side.
+    #[test]
+    fn solve_matvec_roundtrip(n in 2usize..50, bw in 1usize..6, seed in any::<u64>()) {
+        let a = random_spd_banded(n, bw, seed);
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let f = BandedCholesky::factor(&a).unwrap();
+        let mut x = rhs.clone();
+        f.solve_in_place(&mut x);
+        let mut back = vec![0.0; n];
+        a.matvec(&x, &mut back);
+        for i in 0..n {
+            prop_assert!((back[i] - rhs[i]).abs() <= 1e-8 * (1.0 + rhs[i].abs()));
+        }
+    }
+
+    /// CSR matvec equals dense matvec.
+    #[test]
+    fn csr_matvec_matches_dense(n in 1usize..20, bw in 0usize..4, seed in any::<u64>()) {
+        let a = random_spd_banded(n, bw.min(n.saturating_sub(1)), seed);
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+        let mut y = vec![0.0; n];
+        a.matvec(&x, &mut y);
+        for i in 0..n {
+            let expect: f64 = (0..n).map(|j| d[(i, j)] * x[j]).sum();
+            prop_assert!((y[i] - expect).abs() <= 1e-10 * (1.0 + expect.abs()));
+        }
+    }
+
+    /// add_scaled is elementwise.
+    #[test]
+    fn add_scaled_elementwise(n in 1usize..15, seed in any::<u64>(), alpha in -3.0f64..3.0) {
+        let a = random_spd_banded(n, 2.min(n.saturating_sub(1)), seed);
+        let b = random_spd_banded(n, 1.min(n.saturating_sub(1)), seed.wrapping_add(5));
+        let s = a.add_scaled(alpha, &b);
+        let (da, db, ds) = (a.to_dense(), b.to_dense(), s.to_dense());
+        for i in 0..n {
+            for j in 0..n {
+                let expect = da[(i, j)] + alpha * db[(i, j)];
+                prop_assert!((ds[(i, j)] - expect).abs() <= 1e-11 * (1.0 + expect.abs()));
+            }
+        }
+    }
+}

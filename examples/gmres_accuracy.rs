@@ -1,0 +1,53 @@
+//! The Fig. 6 story in miniature: does Gram-SVD rounding (accuracy limited
+//! to √ε) degrade TT-GMRES? Run the same solve with QR and Gram rounding at
+//! loose and tight tolerances and compare residuals and ranks.
+//!
+//! Run with: `cargo run --release --example gmres_accuracy`
+
+use tt_gram_round::cookies::CookiesProblem;
+use tt_gram_round::solvers::gmres::TrueResidualMode;
+use tt_gram_round::solvers::{tt_gmres, GmresOptions, RoundingMethod};
+
+fn main() {
+    // Small Fig. 6-style configuration (12² grid, 5 samples per disk) —
+    // sized so the whole three-tolerance sweep runs in about a minute.
+    let problem = CookiesProblem::new(12, 5);
+    let op = problem.operator();
+    let f = problem.rhs();
+    let pre = problem.mean_preconditioner();
+
+    println!(
+        "cookies {}x{} grid, dims {:?}",
+        problem.grid,
+        problem.grid,
+        problem.dims()
+    );
+    println!();
+
+    for tol in [1e-2, 1e-6, 1e-10] {
+        println!("epsilon = {tol:.0e}:");
+        for method in [RoundingMethod::Qr, RoundingMethod::GramLrl] {
+            let opts = GmresOptions {
+                tolerance: tol,
+                max_iters: 40,
+                rounding: method,
+                true_residual: TrueResidualMode::Dense,
+                stagnation_window: 5,
+                restart: None,
+            };
+            let (_, trace) = tt_gmres(&op, &pre, &f, &opts);
+            println!(
+                "  {:<9} iters {:>3}  computed resid {:.2e}  true resid {:.2e}  max rank {}",
+                method.name(),
+                trace.iterations.len(),
+                trace.computed_relative_residual,
+                trace.true_relative_residual,
+                trace.max_krylov_rank()
+            );
+        }
+        println!();
+    }
+    println!("expected (the paper's Fig. 6 conclusion): residuals agree at every");
+    println!("tolerance; only at eps = 1e-10 does the Gram variant inflate the TT");
+    println!("ranks (it cannot resolve singular values below sqrt(machine eps)).");
+}

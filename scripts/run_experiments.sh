@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper and collects the outputs under
+# results/. Runtimes are sized for a small machine; pass larger --scale
+# values on bigger hardware (see DESIGN.md section 2).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+run() {
+    local name="$1"; shift
+    echo "=== $name ==="
+    ( "$@" 2>&1 | tee "results/$name.txt" ) || echo "(failed: $name)"
+    echo
+}
+
+run table1 cargo run --release -p tt-bench --bin table1
+run fig2a  cargo run --release -p tt-bench --bin fig2 -- --model 1
+run fig2b  cargo run --release -p tt-bench --bin fig2 -- --model 2
+run fig3   cargo run --release -p tt-bench --bin fig3
+run fig4   cargo run --release -p tt-bench --bin fig4
+run fig7   cargo run --release -p tt-bench --bin fig7
+run headline cargo run --release -p tt-bench --bin headline
+run fig6   cargo run --release -p tt-bench --bin fig6
+run fig5   cargo run --release -p tt-bench --bin fig5 -- --max-level "${FIG5_MAX_LEVEL:-2}"
+
+echo "All outputs in results/."

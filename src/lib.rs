@@ -1,0 +1,45 @@
+//! # tt-gram-round
+//!
+//! A from-scratch Rust reproduction of *"Parallel Tensor Train Rounding
+//! using Gram SVD"* (Al Daas, Ballard, Manning — IPDPS 2022): the TT format,
+//! formal TT arithmetic, TT-Rounding via orthogonalization (the baseline,
+//! Alg. 2) and via Gram SVD (the paper's contribution, Algs. 5–6), the §III
+//! matrix-product truncation kernels, TT-GMRES, the cookies parametrized
+//! PDE, and the dense-LA / sparse / distributed-runtime substrates they
+//! need — all pure Rust.
+//!
+//! This crate is a facade that re-exports the workspace members under short
+//! names. See `README.md` for a tour and `DESIGN.md` for the system
+//! inventory.
+//!
+//! ```
+//! use tt_gram_round::tt::{TtTensor, round_gram_lrl};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! // A 5-way tensor with all TT ranks 6.
+//! let x = TtTensor::random(&[12, 10, 10, 10, 10], &[6; 4], &mut rng);
+//! // Formal arithmetic inflates ranks: x + x has ranks 12 ...
+//! let y = x.add(&x);
+//! assert_eq!(y.max_rank(), 12);
+//! // ... and Gram-SVD rounding recovers them.
+//! let z = round_gram_lrl(&y, 1e-10);
+//! assert_eq!(z.max_rank(), 6);
+//! // The represented value is exactly 2x.
+//! let mut two_x = x.clone();
+//! two_x.scale(2.0);
+//! assert!(z.sub(&two_x).norm() <= 1e-6 * two_x.norm());
+//! ```
+
+/// The simulated distributed-memory runtime (communicators, cost model).
+pub use tt_comm as comm;
+/// The cookies parametrized-PDE application (§II-C, §V-D).
+pub use tt_cookies as cookies;
+/// TT tensors, arithmetic, and the rounding algorithms.
+pub use tt_core as tt;
+/// Dense linear algebra kernels.
+pub use tt_linalg as linalg;
+/// TT-GMRES and preconditioners.
+pub use tt_solvers as solvers;
+/// Sparse matrices and direct/iterative solvers.
+pub use tt_sparse as sparse;
