@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
-use tt_linalg::{
-    cholesky, eigh, golub_kahan_svd, householder_qr, jacobi_svd, syrk, Matrix,
-};
+use tt_linalg::{cholesky, eigh, golub_kahan_svd, householder_qr, jacobi_svd, syrk, Matrix};
 
 fn rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(7)

@@ -11,19 +11,18 @@
 //!
 //! Usage: `cargo run --release -p tt-bench --bin ablation`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use std::time::Instant;
 
 use rand::SeedableRng;
 use tt_bench::fmt_secs;
+use tt_cookies::CookiesProblem;
 use tt_core::round::{
     gram_sweep_right, gram_sweep_right_symmetric, round_randomized, RandomizedOptions,
 };
 use tt_core::synthetic::generate_redundant;
-use tt_cookies::CookiesProblem;
 use tt_solvers::gmres::TrueResidualMode;
-use tt_solvers::{
-    tt_gmres, tt_richardson, GmresOptions, RichardsonOptions, RoundingMethod,
-};
+use tt_solvers::{tt_gmres, tt_richardson, GmresOptions, RichardsonOptions, RoundingMethod};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2022);
@@ -58,7 +57,9 @@ fn main() {
     let xnorm = x.norm();
     println!("    {:>4} {:>12} {:>12}", "p", "time", "rel error");
     for p in [0usize, 2, 4, 8, 16] {
-        let opts = RandomizedOptions::uniform(10, dims.len()).oversample(p).seed(42);
+        let opts = RandomizedOptions::uniform(10, dims.len())
+            .oversample(p)
+            .seed(42);
         let t0 = Instant::now();
         let y = round_randomized(&x, &opts);
         let dt = t0.elapsed().as_secs_f64();

@@ -14,6 +14,7 @@
 //! Default scales are sized for this machine; EXPERIMENTS.md records the
 //! scales used for the reported numbers.
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_bench::{
     calibrated_model, fmt_secs, print_model_banner, run_scaling_point, Args, ALL_VARIANTS,
 };
@@ -78,7 +79,9 @@ fn main() {
         rows.push((p, times));
     }
 
-    let base = firsts.unwrap();
+    let Some(base) = firsts else {
+        unreachable!("the P sweep is non-empty, so the first scaling row was recorded")
+    };
     println!();
     println!("# parallel speedups vs P = {}:", ps[0]);
     println!(

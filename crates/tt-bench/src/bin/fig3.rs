@@ -10,6 +10,7 @@
 //!
 //! Usage: `cargo run --release -p tt-bench --bin fig3 [-- --scale f --trials n]`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_bench::{
     calibrated_model, fmt_secs, print_model_banner, run_scaling_point, Args, ALL_VARIANTS,
 };

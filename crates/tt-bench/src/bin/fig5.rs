@@ -15,6 +15,7 @@
 //! Usage: `cargo run --release -p tt-bench --bin fig5
 //!           [-- --max-level 2 --samples 20 --tol 1e-5]`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_bench::Args;
 use tt_cookies::CookiesProblem;
 use tt_solvers::gmres::TrueResidualMode;
@@ -41,7 +42,9 @@ fn main() {
         "I_1", "grid", "rounding", "round(s)", "other(s)", "total(s)", "iters", "resid"
     );
 
-    let mut convergence: Vec<(usize, RoundingMethod, Vec<(usize, f64, usize)>)> = Vec::new();
+    // (iteration, residual, max TT rank) per recorded GMRES step.
+    type ConvergenceCurve = Vec<(usize, f64, usize)>;
+    let mut convergence: Vec<(usize, RoundingMethod, ConvergenceCurve)> = Vec::new();
 
     for level in 0..=max_level.min(2) {
         let problem = CookiesProblem::paper_discretization(level, samples);

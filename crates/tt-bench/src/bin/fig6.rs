@@ -16,6 +16,7 @@
 //!
 //! Usage: `cargo run --release -p tt-bench --bin fig6 [-- --samples 10]`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_bench::Args;
 use tt_cookies::CookiesProblem;
 use tt_solvers::gmres::TrueResidualMode;

@@ -12,6 +12,7 @@
 //!
 //! Usage: `cargo run --release -p tt-bench --bin headline [-- --scale f]`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_bench::{calibrated_model, fmt_secs, print_model_banner, run_scaling_point, Args, Variant};
 use tt_core::synthetic::ModelSpec;
 

@@ -17,6 +17,9 @@
 //! DESIGN.md §2 for why this preserves the paper's comparisons on a
 //! single-core machine. Every binary prints the machine parameters it used.
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use tt_comm::{Communicator, CostModel, ModelComm};
@@ -178,9 +181,10 @@ pub fn calibrate_gamma() -> f64 {
 
 /// Builds the default cost model with γ calibrated on this machine.
 pub fn calibrated_model() -> CostModel {
-    let mut m = CostModel::default();
-    m.gamma = calibrate_gamma();
-    m
+    CostModel {
+        gamma: calibrate_gamma(),
+        ..Default::default()
+    }
 }
 
 /// Prints the cost-model banner every harness emits.

@@ -257,9 +257,11 @@ mod tests {
 
     #[test]
     fn congestion_knee_inflates_latency() {
-        let mut m = CostModel::default();
-        m.congestion_knee = Some(1024);
-        m.congestion_factor = 4.0;
+        let m = CostModel {
+            congestion_knee: Some(1024),
+            congestion_factor: 4.0,
+            ..Default::default()
+        };
         assert_eq!(m.effective_alpha(512), m.alpha);
         assert_eq!(m.effective_alpha(1024), m.alpha);
         assert!((m.effective_alpha(2048) - 4.0 * m.alpha).abs() < 1e-18);

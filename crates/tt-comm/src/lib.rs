@@ -23,11 +23,15 @@
 //! Every communicator records the collectives it performs ([`CommStats`]),
 //! so harnesses can report computation/communication breakdowns.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod thread;
+pub mod verify;
 
 pub use cost::{CollectiveKind, CommStats, CostModel};
 pub use thread::ThreadComm;
+pub use verify::{run_verified, run_verified_with_timeout, VerifyComm};
 
 /// MPI-analog communication interface used by the distributed TT kernels.
 ///
@@ -112,11 +116,24 @@ impl Communicator for SelfComm {
     fn allgather(&self, send: &[f64]) -> Vec<f64> {
         send.to_vec()
     }
-    fn send(&self, _to: usize, _buf: &[f64]) {
-        panic!("SelfComm has a single rank; point-to-point send is a bug");
+    fn send(&self, to: usize, buf: &[f64]) {
+        panic!(
+            "SelfComm::send(to={to}, len={}): SelfComm has a single rank, so \
+             point-to-point communication is always a caller bug. Algorithms \
+             with data-dependent messaging (the TSQR reduction tree in \
+             tt_core::round::tsqr) must branch on size() == 1 and take their \
+             sequential path instead of sending.",
+            buf.len()
+        );
     }
-    fn recv(&self, _from: usize) -> Vec<f64> {
-        panic!("SelfComm has a single rank; point-to-point recv is a bug");
+    fn recv(&self, from: usize) -> Vec<f64> {
+        panic!(
+            "SelfComm::recv(from={from}): SelfComm has a single rank, so \
+             point-to-point communication is always a caller bug. Algorithms \
+             with data-dependent messaging (the TSQR reduction tree in \
+             tt_core::round::tsqr) must branch on size() == 1 and take their \
+             sequential path instead of receiving."
+        );
     }
     fn barrier(&self) {}
     fn stats(&self) -> CommStats {
@@ -192,10 +209,14 @@ impl Communicator for ModelComm {
             .borrow_mut()
             .record(CollectiveKind::PointToPoint, buf.len());
     }
-    fn recv(&self, _from: usize) -> Vec<f64> {
+    fn recv(&self, from: usize) -> Vec<f64> {
         panic!(
-            "ModelComm cannot satisfy a data-dependent recv; \
-             TSQR-style trees must use their model-aware code path"
+            "ModelComm::recv(from={from}): a performance-model backend plays \
+             one representative rank and cannot materialize data another rank \
+             would have sent. Algorithms with data-dependent messaging must \
+             check is_model() and take their model-aware path — execute the \
+             local computation and account for the messages with \
+             record_event(), as tt_core::round::tsqr::tsqr_q does."
         );
     }
     fn barrier(&self) {}
@@ -226,6 +247,24 @@ mod tests {
         assert_eq!(c.rank(), 0);
         assert_eq!(c.size(), 1);
         assert_eq!(c.stats().total_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential path instead of sending")]
+    fn self_comm_send_names_the_sequential_path() {
+        SelfComm::new().send(0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential path instead of receiving")]
+    fn self_comm_recv_names_the_sequential_path() {
+        SelfComm::new().recv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model-aware path")]
+    fn model_comm_recv_names_the_model_aware_path() {
+        ModelComm::new(4).recv(1);
     }
 
     #[test]

@@ -6,14 +6,123 @@
 //! distributed rounding variants agree with their sequential counterparts.
 //! (On a multi-core machine it also yields real speedup; scaling *studies*
 //! use the analytic model in [`crate::cost`] instead, see DESIGN.md.)
+//!
+//! # Deadlock watchdog
+//!
+//! The classic failure mode of SPMD code is ranks issuing mismatched or
+//! reordered collectives, which under a blocking runtime surfaces as a hung
+//! test suite. Every blocking operation here (point-to-point receive, the
+//! internal tree receives of the collectives, and [`Communicator::barrier`])
+//! is therefore guarded by a watchdog: if the operation does not complete
+//! within the communicator's timeout ([`ThreadComm::create_with_timeout`],
+//! default [`ThreadComm::DEFAULT_WATCHDOG`]), the rank panics with a
+//! diagnostic that names the stuck operation and dumps every rank's last
+//! communication event, instead of hanging forever. Cross-rank *semantic*
+//! checking (catching the mismatch before it deadlocks) is layered on top by
+//! [`crate::verify::VerifyComm`].
 
 use std::cell::RefCell;
-use std::sync::Arc;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::cost::{CollectiveKind, CommStats};
 use crate::Communicator;
+
+/// Shared per-rank "last event" table used for watchdog diagnostics.
+#[derive(Debug)]
+struct StatusBoard {
+    entries: Mutex<Vec<String>>,
+}
+
+impl StatusBoard {
+    fn new(p: usize) -> Self {
+        StatusBoard {
+            entries: Mutex::new(vec!["<no events yet>".to_string(); p]),
+        }
+    }
+
+    fn set(&self, rank: usize, event: String) {
+        match self.entries.lock() {
+            Ok(mut e) => e[rank] = event,
+            // A poisoned board means another rank already panicked while
+            // holding the lock; diagnostics are best-effort at that point.
+            Err(poisoned) => poisoned.into_inner()[rank] = event,
+        }
+    }
+
+    fn snapshot(&self) -> Vec<String> {
+        match self.entries.lock() {
+            Ok(e) => e.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn render(&self) -> String {
+        self.snapshot()
+            .iter()
+            .enumerate()
+            .map(|(r, e)| format!("  rank {r}: {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// A reusable barrier whose `wait` panics with a diagnostic instead of
+/// blocking forever when some rank never arrives.
+#[derive(Debug)]
+struct WatchdogBarrier {
+    size: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl WatchdogBarrier {
+    fn new(size: usize) -> Self {
+        WatchdogBarrier {
+            size,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until all ranks arrive or `timeout` elapses; on timeout calls
+    /// `diag` for a panic message.
+    fn wait(&self, timeout: Duration, diag: impl FnOnce(Duration) -> String) {
+        let mut guard = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.arrived += 1;
+        if guard.arrived == self.size {
+            guard.arrived = 0;
+            guard.generation = guard.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let gen_at_entry = guard.generation;
+        let start = Instant::now();
+        while guard.generation == gen_at_entry {
+            let remaining = match timeout.checked_sub(start.elapsed()) {
+                Some(d) if !d.is_zero() => d,
+                _ => panic!("{}", diag(start.elapsed())),
+            };
+            guard = match self.cv.wait_timeout(guard, remaining) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
 
 /// One rank's endpoint of a `P`-rank thread communicator.
 ///
@@ -26,13 +135,28 @@ pub struct ThreadComm {
     senders: Vec<Sender<Vec<f64>>>,
     /// `receivers[from]` drains our mailbox for messages from `from`.
     receivers: Vec<Receiver<Vec<f64>>>,
-    barrier: Arc<std::sync::Barrier>,
+    barrier: Arc<WatchdogBarrier>,
+    board: Arc<StatusBoard>,
+    watchdog: Duration,
     stats: RefCell<CommStats>,
 }
 
 impl ThreadComm {
-    /// Creates the `p` connected endpoints of a new communicator.
+    /// Default watchdog timeout for [`ThreadComm::create`]/[`ThreadComm::run`]:
+    /// generous enough for any legitimate collective in the test suite, small
+    /// enough that a deadlocked test fails rather than hanging CI.
+    pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
+
+    /// Creates the `p` connected endpoints of a new communicator with the
+    /// default watchdog timeout.
     pub fn create(p: usize) -> Vec<ThreadComm> {
+        Self::create_with_timeout(p, Self::DEFAULT_WATCHDOG)
+    }
+
+    /// Creates the `p` connected endpoints with a custom watchdog timeout:
+    /// any blocking receive or barrier that exceeds `watchdog` panics with a
+    /// per-rank event dump instead of hanging.
+    pub fn create_with_timeout(p: usize, watchdog: Duration) -> Vec<ThreadComm> {
         assert!(p >= 1);
         // mesh[from][to]
         let mut senders_by_from: Vec<Vec<Sender<Vec<f64>>>> = Vec::with_capacity(p);
@@ -40,14 +164,15 @@ impl ThreadComm {
             (0..p).map(|_| Vec::new()).collect();
         for _from in 0..p {
             let mut row = Vec::with_capacity(p);
-            for to in 0..p {
-                let (s, r) = unbounded();
+            for inbox in receivers_by_to.iter_mut() {
+                let (s, r) = channel();
                 row.push(s);
-                receivers_by_to[to].push(r);
+                inbox.push(r);
             }
             senders_by_from.push(row);
         }
-        let barrier = Arc::new(std::sync::Barrier::new(p));
+        let barrier = Arc::new(WatchdogBarrier::new(p));
+        let board = Arc::new(StatusBoard::new(p));
         senders_by_from
             .into_iter()
             .zip(receivers_by_to)
@@ -58,6 +183,8 @@ impl ThreadComm {
                 senders,
                 receivers,
                 barrier: Arc::clone(&barrier),
+                board: Arc::clone(&board),
+                watchdog,
                 stats: RefCell::new(CommStats::default()),
             })
             .collect()
@@ -65,13 +192,29 @@ impl ThreadComm {
 
     /// Runs `f` as an SPMD program on `p` ranks (threads), returning each
     /// rank's result in rank order.
+    ///
+    /// If a rank panics (including watchdog and [`crate::verify::VerifyComm`]
+    /// diagnostics), the panic is re-raised on the caller's thread after all
+    /// ranks have terminated, preserving the original message.
     pub fn run<R, F>(p: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(ThreadComm) -> R + Sync,
     {
-        let comms = ThreadComm::create(p);
-        std::thread::scope(|scope| {
+        Self::run_with_timeout(p, Self::DEFAULT_WATCHDOG, f)
+    }
+
+    /// [`ThreadComm::run`] with a custom watchdog timeout.
+    pub fn run_with_timeout<R, F>(p: usize, watchdog: Duration, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = ThreadComm::create_with_timeout(p, watchdog);
+        // Join every rank before propagating any panic: resuming a panic
+        // while sibling ranks are still running would make the scope's
+        // implicit join panic during unwinding and abort the process.
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = comms
                 .into_iter()
                 .map(|comm| {
@@ -79,19 +222,88 @@ impl ThreadComm {
                     scope.spawn(move || f(comm))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("SPMD rank panicked"))
-                .collect()
-        })
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     }
 
-    fn raw_send(&self, to: usize, buf: &[f64]) {
-        self.senders[to].send(buf.to_vec()).expect("peer hung up");
+    /// The configured watchdog timeout.
+    pub fn watchdog_timeout(&self) -> Duration {
+        self.watchdog
     }
 
-    fn raw_recv(&self, from: usize) -> Vec<f64> {
-        self.receivers[from].recv().expect("peer hung up")
+    fn note(&self, event: String) {
+        self.board.set(self.rank, event);
+    }
+
+    pub(crate) fn raw_send(&self, to: usize, buf: &[f64]) {
+        if self.senders[to].send(buf.to_vec()).is_err() {
+            panic!(
+                "ThreadComm rank {}: send(to={to}, len={}) failed: rank {to} has \
+                 terminated (its endpoint was dropped). Per-rank last events:\n{}",
+                self.rank,
+                buf.len(),
+                self.board.render()
+            );
+        }
+    }
+
+    pub(crate) fn raw_recv(&self, from: usize) -> Vec<f64> {
+        let start = Instant::now();
+        loop {
+            let remaining = match self.watchdog.checked_sub(start.elapsed()) {
+                Some(d) if !d.is_zero() => d,
+                _ => panic!(
+                    "ThreadComm watchdog: rank {} stuck in recv(from={from}) for \
+                     {:?} (timeout {:?}). Per-rank last events:\n{}\n\
+                     This usually means ranks issued mismatched or reordered \
+                     collectives; wrap the communicator in \
+                     tt_comm::verify::VerifyComm to pinpoint the first divergent \
+                     call.",
+                    self.rank,
+                    start.elapsed(),
+                    self.watchdog,
+                    self.board.render()
+                ),
+            };
+            match self.receivers[from].recv_timeout(remaining) {
+                Ok(msg) => return msg,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "ThreadComm rank {}: recv(from={from}) failed: rank {from} has \
+                     terminated without sending (its endpoint was dropped). \
+                     Per-rank last events:\n{}",
+                    self.rank,
+                    self.board.render()
+                ),
+            }
+        }
+    }
+
+    /// Receive for the internal collective trees, where the expected payload
+    /// length is known: a length mismatch means a foreign message (from a
+    /// misaligned operation on the peer) was consumed, and is reported as
+    /// such rather than silently corrupting the reduction.
+    fn raw_recv_expect(&self, from: usize, expected_len: usize, op: &str) -> Vec<f64> {
+        let msg = self.raw_recv(from);
+        if msg.len() != expected_len {
+            panic!(
+                "ThreadComm rank {}: {op} expected a {expected_len}-word message \
+                 from rank {from} but received {} words — the ranks' collective \
+                 streams have diverged (mismatched or reordered operations). \
+                 Per-rank last events:\n{}",
+                self.rank,
+                msg.len(),
+                self.board.render()
+            );
+        }
+        msg
     }
 }
 
@@ -107,41 +319,48 @@ impl Communicator for ThreadComm {
     /// Binomial-tree reduce to rank 0 followed by a binomial broadcast —
     /// the same `O(log P)` data movement an MPI allreduce performs.
     fn allreduce_sum(&self, buf: &mut [f64]) {
-        self.reduce_with(buf, |acc, inc| {
+        self.note(format!("in allreduce_sum(len={})", buf.len()));
+        self.reduce_with(buf, "allreduce_sum", |acc, inc| {
             for (a, b) in acc.iter_mut().zip(inc.iter()) {
                 *a += b;
             }
         });
-        self.broadcast_internal(0, buf);
+        self.broadcast_internal(0, buf, "allreduce_sum");
         self.stats
             .borrow_mut()
             .record(CollectiveKind::Allreduce, buf.len());
+        self.note(format!("after allreduce_sum(len={})", buf.len()));
     }
 
     fn allreduce_max(&self, buf: &mut [f64]) {
-        self.reduce_with(buf, |acc, inc| {
+        self.note(format!("in allreduce_max(len={})", buf.len()));
+        self.reduce_with(buf, "allreduce_max", |acc, inc| {
             for (a, b) in acc.iter_mut().zip(inc.iter()) {
                 if *b > *a {
                     *a = *b;
                 }
             }
         });
-        self.broadcast_internal(0, buf);
+        self.broadcast_internal(0, buf, "allreduce_max");
         self.stats
             .borrow_mut()
             .record(CollectiveKind::Allreduce, buf.len());
+        self.note(format!("after allreduce_max(len={})", buf.len()));
     }
 
     fn broadcast(&self, root: usize, buf: &mut [f64]) {
-        self.broadcast_internal(root, buf);
+        self.note(format!("in broadcast(root={root}, len={})", buf.len()));
+        self.broadcast_internal(root, buf, "broadcast");
         self.stats
             .borrow_mut()
             .record(CollectiveKind::Broadcast, buf.len());
+        self.note(format!("after broadcast(root={root}, len={})", buf.len()));
     }
 
     /// Gather-to-root + broadcast (binomial trees on both legs), supporting
     /// per-rank payload lengths (MPI_Allgatherv semantics).
     fn allgather(&self, send: &[f64]) -> Vec<f64> {
+        self.note(format!("in allgather(local_len={})", send.len()));
         let p = self.size;
         let mut gathered: Vec<f64>;
         if self.rank == 0 {
@@ -157,29 +376,45 @@ impl Communicator for ThreadComm {
         }
         // Broadcast the total length, then the payload.
         let mut len_buf = [gathered.len() as f64];
-        self.broadcast_internal(0, &mut len_buf);
+        self.broadcast_internal(0, &mut len_buf, "allgather");
         let total = len_buf[0] as usize;
         gathered.resize(total, 0.0);
-        self.broadcast_internal(0, &mut gathered);
+        self.broadcast_internal(0, &mut gathered, "allgather");
         self.stats
             .borrow_mut()
             .record(CollectiveKind::Allgather, total);
+        self.note(format!("after allgather(local_len={})", send.len()));
         gathered
     }
 
     fn send(&self, to: usize, buf: &[f64]) {
+        self.note(format!("in send(to={to}, len={})", buf.len()));
         self.stats
             .borrow_mut()
             .record(CollectiveKind::PointToPoint, buf.len());
         self.raw_send(to, buf);
+        self.note(format!("after send(to={to}, len={})", buf.len()));
     }
 
     fn recv(&self, from: usize) -> Vec<f64> {
-        self.raw_recv(from)
+        self.note(format!("in recv(from={from})"));
+        let msg = self.raw_recv(from);
+        self.note(format!("after recv(from={from}, len={})", msg.len()));
+        msg
     }
 
     fn barrier(&self) {
-        self.barrier.wait();
+        self.note("in barrier".to_string());
+        let rank = self.rank;
+        let board = Arc::clone(&self.board);
+        self.barrier.wait(self.watchdog, move |elapsed| {
+            format!(
+                "ThreadComm watchdog: rank {rank} stuck in barrier for {elapsed:?}: \
+                 some rank never arrived. Per-rank last events:\n{}",
+                board.render()
+            )
+        });
+        self.note("after barrier".to_string());
     }
 
     fn stats(&self) -> CommStats {
@@ -193,7 +428,7 @@ impl Communicator for ThreadComm {
 
 impl ThreadComm {
     /// Binomial-tree reduction to rank 0 with a custom combiner.
-    fn reduce_with(&self, buf: &mut [f64], combine: impl Fn(&mut [f64], &[f64])) {
+    fn reduce_with(&self, buf: &mut [f64], op: &str, combine: impl Fn(&mut [f64], &[f64])) {
         let p = self.size;
         let rank = self.rank;
         let mut mask = 1;
@@ -202,7 +437,7 @@ impl ThreadComm {
                 self.raw_send(rank - mask, buf);
                 break;
             } else if rank + mask < p {
-                let inc = self.raw_recv(rank + mask);
+                let inc = self.raw_recv_expect(rank + mask, buf.len(), op);
                 combine(buf, &inc);
             }
             mask <<= 1;
@@ -211,7 +446,7 @@ impl ThreadComm {
 
     /// Binomial-tree broadcast from `root` (standard MPICH virtual-rank
     /// formulation), without recording a stats event.
-    fn broadcast_internal(&self, root: usize, buf: &mut [f64]) {
+    fn broadcast_internal(&self, root: usize, buf: &mut [f64], op: &str) {
         let p = self.size;
         if p == 1 {
             return;
@@ -222,7 +457,7 @@ impl ThreadComm {
             if vrank & mask != 0 {
                 let vsrc = vrank - mask;
                 let src = (vsrc + root) % p;
-                let data = self.raw_recv(src);
+                let data = self.raw_recv_expect(src, buf.len(), op);
                 buf.copy_from_slice(&data);
                 break;
             }
@@ -312,7 +547,9 @@ mod tests {
         for p in [1usize, 2, 3, 5] {
             let results = ThreadComm::run(p, |comm| {
                 // Variable-length payloads: rank r contributes r+1 values.
-                let send: Vec<f64> = (0..comm.rank() + 1).map(|i| (comm.rank() * 10 + i) as f64).collect();
+                let send: Vec<f64> = (0..comm.rank() + 1)
+                    .map(|i| (comm.rank() * 10 + i) as f64)
+                    .collect();
                 comm.allgather(&send)
             });
             let expect: Vec<f64> = (0..p)
@@ -342,5 +579,94 @@ mod tests {
             comm.stats().count(CollectiveKind::Allreduce)
         });
         assert_eq!(results, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_fires_on_missing_sender() {
+        // Rank 1 waits for a message rank 0 never sends.
+        ThreadComm::run_with_timeout(2, Duration::from_millis(200), |comm| {
+            if comm.rank() == 1 {
+                comm.recv(0);
+            } else {
+                // Keep rank 0 alive past the timeout so the failure is a
+                // watchdog timeout, not a disconnect.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck in barrier")]
+    fn watchdog_fires_on_abandoned_barrier() {
+        ThreadComm::run_with_timeout(2, Duration::from_millis(200), |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+            } else {
+                std::thread::sleep(Duration::from_millis(400));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated without sending")]
+    fn disconnect_is_reported_structurally() {
+        ThreadComm::run_with_timeout(2, Duration::from_secs(5), |comm| {
+            if comm.rank() == 1 {
+                comm.recv(0); // rank 0 returns immediately; its endpoint drops
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "collective streams have diverged")]
+    fn length_mismatch_in_tree_is_reported() {
+        // Both ranks enter "allreduce_sum" but with different buffer lengths:
+        // the internal tree detects the foreign message length.
+        ThreadComm::run_with_timeout(2, Duration::from_secs(5), |comm| {
+            let mut buf = vec![1.0; if comm.rank() == 0 { 4 } else { 7 }];
+            comm.allreduce_sum(&mut buf);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "ThreadComm watchdog")]
+    fn watchdog_diagnoses_mismatched_collectives() {
+        // The canonical mismatched-collective deadlock: rank 0 broadcasts
+        // while rank 1 allreduces. The 4-word reduce message rank 1 sends is
+        // consumed by rank 0's broadcast receive (the length matches, so the
+        // structural check cannot see the divergence); rank 0 completes and
+        // idles while rank 1 blocks forever waiting for the result broadcast.
+        // The watchdog must convert that silent hang into a diagnostic panic
+        // naming the stuck receive and dumping every rank's last event.
+        ThreadComm::run_with_timeout(2, Duration::from_millis(300), |comm| {
+            let mut buf = vec![1.0; 4];
+            if comm.rank() == 0 {
+                comm.broadcast(1, &mut buf);
+                // Stay alive past the timeout so rank 1's failure is the
+                // watchdog, not a disconnect.
+                std::thread::sleep(Duration::from_millis(900));
+            } else {
+                comm.allreduce_sum(&mut buf);
+            }
+        });
+    }
+
+    #[test]
+    fn deep_trees_and_watchdog_coexist() {
+        // A legitimate long chain of collectives at P=8 must not trip the
+        // watchdog.
+        let results = ThreadComm::run_with_timeout(8, Duration::from_secs(10), |comm| {
+            let mut acc = 0.0;
+            for round in 0..50 {
+                let mut buf = vec![(comm.rank() + round) as f64; 3];
+                comm.allreduce_sum(&mut buf);
+                acc += buf[0];
+            }
+            acc
+        });
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
     }
 }

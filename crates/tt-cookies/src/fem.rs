@@ -58,8 +58,10 @@ pub fn assemble_p1(grid: usize, sigma: impl Fn(f64, f64) -> f64) -> CsrMatrix {
                     .iter()
                     .map(|&c| (coord(corners[c].0), coord(corners[c].1)))
                     .collect();
-                let centroid =
-                    ((p[0].0 + p[1].0 + p[2].0) / 3.0, (p[0].1 + p[1].1 + p[2].1) / 3.0);
+                let centroid = (
+                    (p[0].0 + p[1].0 + p[2].0) / 3.0,
+                    (p[0].1 + p[1].1 + p[2].1) / 3.0,
+                );
                 let s = sigma(centroid.0, centroid.1);
                 if s == 0.0 {
                     continue;
@@ -131,19 +133,28 @@ mod tests {
             let fdm = fdm_laplacian(grid);
             assert_eq!(fem.rows(), fdm.rows());
             let diff = fem.to_dense().max_abs_diff(&fdm.to_dense());
-            assert!(diff < 1e-12, "grid {grid}: FEM vs FDM Laplacian diff {diff}");
+            assert!(
+                diff < 1e-12,
+                "grid {grid}: FEM vs FDM Laplacian diff {diff}"
+            );
         }
     }
 
     #[test]
     fn p1_stiffness_is_symmetric_spd() {
         let disks = crate::default_disks();
-        let a = assemble_p1(
-            12,
-            |x, y| 1.0 + if disks[0].contains_point(x, y) { 3.0 } else { 0.0 },
-        );
+        let a = assemble_p1(12, |x, y| {
+            1.0 + if disks[0].contains_point(x, y) {
+                3.0
+            } else {
+                0.0
+            }
+        });
         assert!(a.is_symmetric(1e-12));
-        assert!(tt_sparse::BandedCholesky::factor(&a).is_some(), "must be SPD");
+        assert!(
+            tt_sparse::BandedCholesky::factor(&a).is_some(),
+            "must be SPD"
+        );
     }
 
     #[test]
@@ -197,9 +208,13 @@ mod tests {
         // FEM rhs: load ∫f·φ ≈ f·h² per node; FDM rhs: f per node (A has
         // the 1/h² scaling built in).
         let mut x_fem = vec![h * h; n];
-        tt_sparse::BandedCholesky::factor(&fem).unwrap().solve_in_place(&mut x_fem);
+        tt_sparse::BandedCholesky::factor(&fem)
+            .unwrap()
+            .solve_in_place(&mut x_fem);
         let mut x_fdm = vec![1.0; n];
-        tt_sparse::BandedCholesky::factor(&fdm).unwrap().solve_in_place(&mut x_fdm);
+        tt_sparse::BandedCholesky::factor(&fdm)
+            .unwrap()
+            .solve_in_place(&mut x_fdm);
         let max_u = x_fdm.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for i in 0..n {
             assert!(

@@ -24,6 +24,8 @@
 //! paper's mode-1 dimensions (2855/11141/24981 → 53²/105²/158²; Fig. 6's
 //! 1781 → 42²).
 
+#![forbid(unsafe_code)]
+
 pub mod fem;
 
 use tt_core::{TtCore, TtTensor};

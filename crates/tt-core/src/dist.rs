@@ -125,7 +125,7 @@ pub fn norm_local(comm: &impl Communicator, x: &TtTensor) -> f64 {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use tt_comm::{SelfComm, ThreadComm};
+    use tt_comm::SelfComm;
 
     #[test]
     fn block_ranges_partition() {
@@ -147,7 +147,7 @@ mod tests {
         let full = TtTensor::random(&[6, 5, 8], &[3, 2], &mut rng);
         for p in [1usize, 2, 3, 4] {
             let f = full.clone();
-            let gathered = ThreadComm::run(p, |comm| {
+            let gathered = tt_comm::run_verified(p, |comm| {
                 let local = scatter_tensor(&f, &comm);
                 gather_tensor(&local, &[6, 5, 8], &comm)
             });
@@ -165,7 +165,7 @@ mod tests {
         let seq = inner_local(&SelfComm::new(), &x, &y);
         for p in [2usize, 3, 5] {
             let (x, y) = (x.clone(), y.clone());
-            let vals = ThreadComm::run(p, |comm| {
+            let vals = tt_comm::run_verified(p, |comm| {
                 let xl = scatter_tensor(&x, &comm);
                 let yl = scatter_tensor(&y, &comm);
                 inner_local(&comm, &xl, &yl)
@@ -185,7 +185,7 @@ mod tests {
         let x = TtTensor::random(&[5, 6, 4], &[2, 3], &mut rng);
         let dense_norm = x.to_dense().fro_norm();
         let xc = x.clone();
-        let vals = ThreadComm::run(3, |comm| {
+        let vals = tt_comm::run_verified(3, |comm| {
             let xl = scatter_tensor(&xc, &comm);
             norm_local(&comm, &xl)
         });
@@ -200,7 +200,7 @@ mod tests {
         let x = TtTensor::random(&[2, 3, 2], &[2, 2], &mut rng);
         let seq = inner_local(&SelfComm::new(), &x, &x);
         let xc = x.clone();
-        let vals = ThreadComm::run(5, |comm| {
+        let vals = tt_comm::run_verified(5, |comm| {
             let xl = scatter_tensor(&xc, &comm);
             inner_local(&comm, &xl, &xl)
         });

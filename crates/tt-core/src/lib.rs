@@ -25,6 +25,8 @@
 //! is the whole tensor and the collectives vanish — that is the sequential
 //! algorithm. The convenience wrappers in [`round`] do exactly this.
 
+#![forbid(unsafe_code)]
+
 pub mod core;
 pub mod dense;
 pub mod dist;

@@ -125,7 +125,14 @@ fn apply_pinv_t(a: &Matrix, m: &Matrix) -> Matrix {
         return am;
     }
     let mtm = syrk(m, 1.0);
-    let l = tt_linalg::cholesky(&mtm).expect("MᵀM must be SPD for a full-column-rank factor");
+    let l = match tt_linalg::cholesky(&mtm) {
+        Ok(l) => l,
+        Err(e) => panic!(
+            "apply_pinv_t: Cholesky of MᵀM failed ({e}); M must have full \
+             column rank here — the upstream truncation should have removed \
+             numerically null columns"
+        ),
+    };
     // Solve (L Lᵀ) Xᵀ = (A M)ᵀ column-wise: X = A M (L Lᵀ)⁻¹.
     let lt = l.transpose();
     let li = tri_invert_upper(&lt); // Lᵀ⁻¹

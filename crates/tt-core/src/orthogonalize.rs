@@ -79,7 +79,7 @@ pub fn left_orthogonality_defect(comm: &impl Communicator, x: &TtTensor) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tt_comm::{SelfComm, ThreadComm};
+    use tt_comm::SelfComm;
     use tt_linalg::{gemm_alloc, Trans};
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -132,7 +132,7 @@ mod tests {
         for p in [2usize, 3] {
             let xs = x.clone();
             let dims2 = dims.clone();
-            let results = ThreadComm::run(p, |comm| {
+            let results = tt_comm::run_verified(p, |comm| {
                 let local = crate::dist::scatter_tensor(&xs, &comm);
                 let y = orthogonalize_left(&comm, &local);
                 let defect = left_orthogonality_defect(&comm, &y);

@@ -164,13 +164,13 @@ pub fn round_gram_seq_dist(
             let eps0 = epsilon0(norm, opts.tolerance, n);
             // Left-to-right truncation; left cores stay orthonormal, the
             // singular values ride on the right factor.
-            for b in 1..n {
+            for (b, gr_b) in gr.iter().enumerate().take(n).skip(1) {
                 let gl = {
                     let mut g = syrk_v(y.core(b - 1).v(), 1.0);
                     comm.allreduce_sum(g.as_mut_slice());
                     g
                 };
-                let upd = gram_truncate(b, &gl, &gr[b], eps0, opts.max_rank, SingularSide::Right);
+                let upd = gram_truncate(b, &gl, gr_b, eps0, opts.max_rank, SingularSide::Right);
                 let left = postmult_v(y.core(b - 1), &upd.w_left);
                 let right = premult_h(y.core(b), &upd.w_right);
                 *y.core_mut(b - 1) = left;
@@ -387,7 +387,13 @@ mod tests {
         let mut expect = base.clone();
         expect.scale(2.0);
         let err = rounded.sub(&expect).norm();
-        assert!(err < 1e-8 * (1.0 + expect.norm()));
+        // The attainable accuracy of Gram-based truncation is ~√ε‖X‖: the
+        // singular values pass through the squared Gram spectrum, so half
+        // the digits are lost (the paper's stated trade-off). At ‖X‖ ≈ 35
+        // a 1e-8 relative margin sits exactly on that floor and misses by
+        // ~1.3× for some random instances; 5e-8 clears the floor while
+        // still asserting far more accuracy than the 1e-10 request alone.
+        assert!(err < 5e-8 * (1.0 + expect.norm()), "err={err:e}");
     }
 
     #[test]

@@ -283,7 +283,6 @@ mod tests {
 
     #[test]
     fn distributed_matches_sequential() {
-        use tt_comm::ThreadComm;
         let mut r = rng(5);
         let base = TtTensor::random(&[9, 8, 10], &[3, 2], &mut r);
         let x = base.add(&base);
@@ -298,7 +297,7 @@ mod tests {
             let xs = x.clone();
             let dims2 = dims.clone();
             let opts2 = opts.clone();
-            let gathered = ThreadComm::run(p, |comm| {
+            let gathered = tt_comm::run_verified(p, |comm| {
                 let local = crate::dist::scatter_tensor(&xs, &comm);
                 let y = round_randomized_dist(&comm, &local, &dims2, &opts2);
                 crate::dist::gather_tensor(&y, &dims2, &comm)

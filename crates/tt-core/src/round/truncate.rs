@@ -80,12 +80,21 @@ pub fn gram_truncate(
         "Gram pair must share the bond dimension"
     );
 
-    let el = eigh(g_left)
-        .expect("EVD of a Gram matrix cannot fail")
-        .descending();
-    let er = eigh(g_right)
-        .expect("EVD of a Gram matrix cannot fail")
-        .descending();
+    tt_linalg::paranoid::check_finite("gram_truncate", "G_L", g_left.as_slice());
+    tt_linalg::paranoid::check_finite("gram_truncate", "G_R", g_right.as_slice());
+    tt_linalg::paranoid::check_finite_scalar("gram_truncate", "threshold", threshold);
+
+    let eig_or_die = |side: &str, g: &Matrix| match eigh(g) {
+        Ok(e) => e.descending(),
+        Err(e) => panic!(
+            "gram_truncate bond {bond}: EVD of {side} failed ({e}). A Gram \
+             matrix is symmetric PSD, so this indicates a corrupted buffer \
+             upstream — rerun with the `paranoid` feature to catch it at the \
+             producing kernel."
+        ),
+    };
+    let el = eig_or_die("G_L", g_left);
+    let er = eig_or_die("G_R", g_right);
     let (lam_l, vl) = (clamp_spectrum(&el.values), el.vectors);
     let (lam_r, vr) = (clamp_spectrum(&er.values), er.vectors);
 

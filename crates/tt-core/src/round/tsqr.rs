@@ -76,7 +76,10 @@ pub fn tsqr(comm: &impl Communicator, a_local: &Matrix) -> (Matrix, Matrix) {
     let mut t = if rank == 0 {
         Matrix::identity(n)
     } else {
-        let parent = rank - sent_at_mask.expect("non-root rank must have sent");
+        let Some(mask) = sent_at_mask else {
+            unreachable!("TSQR upsweep: every non-root rank sends exactly once")
+        };
+        let parent = rank - mask;
         Matrix::from_col_major(n, n, comm.recv(parent))
     };
     for (mask, qc) in combines.into_iter().rev() {
@@ -147,7 +150,7 @@ mod tests {
     use super::*;
     use crate::dist::block_range;
     use rand::SeedableRng;
-    use tt_comm::{ModelComm, SelfComm, ThreadComm};
+    use tt_comm::{ModelComm, SelfComm};
     use tt_linalg::jacobi_svd;
 
     #[test]
@@ -167,7 +170,7 @@ mod tests {
         let a = Matrix::gaussian(m, n, &mut rng);
         for p in [2usize, 3, 4, 7] {
             let a = a.clone();
-            let results = ThreadComm::run(p, |comm| {
+            let results = tt_comm::run_verified(p, |comm| {
                 let range = block_range(m, p, comm.rank());
                 let local = a.sub_matrix(range.start, 0, range.len(), n);
                 tsqr(&comm, &local)
@@ -200,7 +203,7 @@ mod tests {
         let a = Matrix::gaussian(m, n, &mut rng);
         let s_expect = jacobi_svd(&a).singular_values;
         let a2 = a.clone();
-        let results = ThreadComm::run(4, move |comm| {
+        let results = tt_comm::run_verified(4, move |comm| {
             let range = block_range(m, 4, comm.rank());
             let local = a2.sub_matrix(range.start, 0, range.len(), n);
             tsqr(&comm, &local).1
@@ -219,7 +222,7 @@ mod tests {
         let n = 4;
         let a = Matrix::gaussian(m, n, &mut rng);
         let a2 = a.clone();
-        let results = ThreadComm::run(8, move |comm| {
+        let results = tt_comm::run_verified(8, move |comm| {
             let range = block_range(m, 8, comm.rank());
             let local = a2.sub_matrix(range.start, 0, range.len(), n);
             tsqr(&comm, &local)

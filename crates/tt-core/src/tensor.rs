@@ -25,7 +25,7 @@ impl TtTensor {
     pub fn new(cores: Vec<TtCore>) -> Self {
         assert!(!cores.is_empty(), "a TT tensor needs at least one core");
         assert_eq!(cores[0].r0(), 1, "first TT rank must be 1");
-        assert_eq!(cores.last().unwrap().r1(), 1, "last TT rank must be 1");
+        assert_eq!(cores[cores.len() - 1].r1(), 1, "last TT rank must be 1");
         for w in cores.windows(2) {
             assert_eq!(
                 w[0].r1(),
@@ -78,7 +78,9 @@ impl TtTensor {
 
     /// Largest TT rank.
     pub fn max_rank(&self) -> usize {
-        self.ranks().into_iter().max().unwrap()
+        // ranks() always includes the boundary ranks (= 1), so the fold's
+        // identity is never the result.
+        self.ranks().into_iter().fold(0, usize::max)
     }
 
     /// Core `k` (0-based).

@@ -33,7 +33,11 @@ pub struct TtMatrixCore {
 impl TtMatrixCore {
     /// Builds from an underlying 3-way core with mode dimension `rows·cols`.
     pub fn new(core: TtCore, rows: usize, cols: usize) -> Self {
-        assert_eq!(core.mode_dim(), rows * cols, "mode dimension must be rows·cols");
+        assert_eq!(
+            core.mode_dim(),
+            rows * cols,
+            "mode dimension must be rows·cols"
+        );
         TtMatrixCore { rows, cols, core }
     }
 
@@ -45,7 +49,11 @@ impl TtMatrixCore {
         s1: usize,
         rng: &mut impl rand::Rng,
     ) -> Self {
-        TtMatrixCore { rows, cols, core: TtCore::gaussian(s0, rows * cols, s1, rng) }
+        TtMatrixCore {
+            rows,
+            cols,
+            core: TtCore::gaussian(s0, rows * cols, s1, rng),
+        }
     }
 
     /// An operator core representing `I` (identity on this mode) with
@@ -55,7 +63,11 @@ impl TtMatrixCore {
         for i in 0..dim {
             *core.at_mut(0, i + i * dim, 0) = 1.0;
         }
-        TtMatrixCore { rows: dim, cols: dim, core }
+        TtMatrixCore {
+            rows: dim,
+            cols: dim,
+            core,
+        }
     }
 
     /// Left operator rank `S_k`.
@@ -90,9 +102,17 @@ impl TtMatrix {
     pub fn new(cores: Vec<TtMatrixCore>) -> Self {
         assert!(!cores.is_empty());
         assert_eq!(cores[0].s0(), 1, "first operator rank must be 1");
-        assert_eq!(cores.last().unwrap().s1(), 1, "last operator rank must be 1");
+        assert_eq!(
+            cores[cores.len() - 1].s1(),
+            1,
+            "last operator rank must be 1"
+        );
         for w in cores.windows(2) {
-            assert_eq!(w[0].s1(), w[1].s0(), "neighboring operator ranks must match");
+            assert_eq!(
+                w[0].s1(),
+                w[1].s0(),
+                "neighboring operator ranks must match"
+            );
         }
         TtMatrix { cores }
     }
@@ -155,7 +175,11 @@ impl TtMatrix {
     /// `Y_k((a,c), i, (b,d)) = Σ_j A_k(a, i, j, b) · X_k(c, j, d)`
     /// is evaluated slice-wise.
     pub fn apply(&self, x: &TtTensor) -> TtTensor {
-        assert_eq!(self.col_dims(), x.dims(), "operator input dims must match the vector");
+        assert_eq!(
+            self.col_dims(),
+            x.dims(),
+            "operator input dims must match the vector"
+        );
         let cores = self
             .cores
             .iter()
@@ -267,7 +291,10 @@ mod tests {
         let expect = gemm(Trans::No, &gd, Trans::No, &xd, 1.0);
         let got = y.to_dense();
         for (k, &e) in expect.as_slice().iter().enumerate() {
-            assert!((got.as_slice()[k] - e).abs() < 1e-10 * (1.0 + e.abs()), "entry {k}");
+            assert!(
+                (got.as_slice()[k] - e).abs() < 1e-10 * (1.0 + e.abs()),
+                "entry {k}"
+            );
         }
     }
 

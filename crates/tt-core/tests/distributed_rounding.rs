@@ -3,7 +3,7 @@
 //! its sequential counterpart.
 
 use rand::SeedableRng;
-use tt_comm::{Communicator, ModelComm, ThreadComm};
+use tt_comm::{run_verified, run_verified_with_timeout, Communicator, ModelComm};
 use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
 use tt_core::{block_range, gather_tensor, scatter_tensor, GramOrder, RoundingOptions, TtTensor};
 
@@ -14,9 +14,13 @@ fn redundant(dims: &[usize], rank_half: usize, seed: u64) -> TtTensor {
 
 /// Runs one distributed rounding variant on `p` ranks and returns the
 /// gathered result (identical on all ranks; rank 0's copy returned).
+///
+/// Every rank's communicator is wrapped in `VerifyComm`, so these agreement
+/// tests additionally certify that all variants issue well-matched SPMD
+/// collective streams.
 fn run_dist(x: &TtTensor, p: usize, opts: &RoundingOptions, variant: &str) -> TtTensor {
     let dims = x.dims();
-    let results = ThreadComm::run(p, |comm| {
+    let results = run_verified(p, |comm| {
         let local = scatter_tensor(x, &comm);
         let (rounded, _report) = match variant {
             "rlr" => round_gram_seq_dist(&comm, &local, opts, GramOrder::Rlr),
@@ -118,6 +122,31 @@ fn rank_capped_distributed_rounding() {
         let dist = run_dist(&x, 2, &opts, variant);
         assert!(dist.max_rank() <= 2, "{variant}");
     }
+}
+
+/// The acceptance scenario for the verification layer: a deliberately
+/// mis-sequenced distributed rounding run — rank 0 slips one extra
+/// collective in front of the sweep, the classic SPMD divergence bug —
+/// must fail with the rank-annotated fingerprint diagnostic instead of
+/// deadlocking or silently producing garbage.
+#[test]
+#[should_panic(expected = "SPMD collective stream mismatch")]
+fn mis_sequenced_distributed_rounding_is_diagnosed() {
+    let x = redundant(&[8, 6, 9, 7], 3, 42);
+    let opts = RoundingOptions::with_tolerance(1e-9);
+    run_verified_with_timeout(2, std::time::Duration::from_secs(10), |comm| {
+        let local = scatter_tensor(&x, &comm);
+        if comm.rank() == 0 {
+            // Only rank 0 "helpfully" reduces a scalar first; from here on
+            // the two ranks' collective streams are mis-sequenced: rank 0's
+            // op #1 is a length-1 allreduce while rank 1's op #1 is the
+            // sweep's first R×R Gram allreduce.
+            let mut extra = vec![0.0];
+            comm.allreduce_sum(&mut extra);
+        }
+        let (rounded, _report) = round_gram_seq_dist(&comm, &local, &opts, GramOrder::Rlr);
+        rounded.ranks()
+    });
 }
 
 #[test]

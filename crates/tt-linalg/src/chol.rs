@@ -17,6 +17,7 @@ use crate::{LinalgError, Result};
 pub fn cholesky(a: &Matrix) -> Result<Matrix> {
     let n = a.rows();
     assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    crate::paranoid::check_finite("cholesky", "A", a.as_slice());
     let mut l = Matrix::zeros(n, n);
     for j in 0..n {
         let mut d = a[(j, j)];
@@ -80,6 +81,8 @@ pub fn pivoted_cholesky(a: &Matrix, tol: f64) -> PivotedCholesky {
         a.cols(),
         "pivoted cholesky requires a square matrix"
     );
+    crate::paranoid::check_finite("pivoted_cholesky", "A", a.as_slice());
+    crate::paranoid::check_finite_scalar("pivoted_cholesky", "tol", tol);
     // Work on a full copy with explicit permutation bookkeeping.
     let mut w = a.clone();
     let mut perm: Vec<usize> = (0..n).collect();

@@ -45,6 +45,7 @@ impl EigH {
 pub fn eigh(a: &Matrix) -> Result<EigH> {
     let n = a.rows();
     assert_eq!(a.rows(), a.cols(), "eigh requires a square matrix");
+    crate::paranoid::check_finite("eigh", "A", a.as_slice());
     if n == 0 {
         return Ok(EigH {
             values: vec![],

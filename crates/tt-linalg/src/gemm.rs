@@ -77,6 +77,10 @@ pub fn gemm_v(
     let (kb, n) = tb.dims(&b);
     assert_eq!(ka, kb, "gemm inner dimensions must agree ({ka} vs {kb})");
     assert_eq!(c.shape(), (m, n), "gemm output shape mismatch");
+    crate::paranoid::check_finite("gemm", "A", a.as_slice());
+    crate::paranoid::check_finite("gemm", "B", b.as_slice());
+    crate::paranoid::check_finite_scalar("gemm", "alpha", alpha);
+    crate::paranoid::check_finite_scalar("gemm", "beta", beta);
     let k = ka;
 
     if beta == 0.0 {
@@ -94,8 +98,8 @@ pub fn gemm_v(
             for j in 0..n {
                 let ccol = c.col_mut(j);
                 let bcol = b.col(j);
-                for l in 0..k {
-                    let s = alpha * bcol[l];
+                for (l, &b_lj) in bcol.iter().enumerate().take(k) {
+                    let s = alpha * b_lj;
                     if s != 0.0 {
                         axpy(s, a.col(l), ccol);
                     }
@@ -151,6 +155,8 @@ pub fn syrk(a: &Matrix, alpha: f64) -> Matrix {
 /// then mirrored, halving the arithmetic versus [`gemm`] — the saving the
 /// paper's §IV-B "symmetric approach" discussion refers to.
 pub fn syrk_v(a: MatRef<'_>, alpha: f64) -> Matrix {
+    crate::paranoid::check_finite("syrk", "A", a.as_slice());
+    crate::paranoid::check_finite_scalar("syrk", "alpha", alpha);
     let n = a.cols();
     let mut c = Matrix::zeros(n, n);
     for j in 0..n {
@@ -170,6 +176,8 @@ pub fn syrk_v(a: MatRef<'_>, alpha: f64) -> Matrix {
 /// Used by the *symmetric* structured-Gram-sweep variant of §IV-B, where
 /// `A` is a horizontal unfolding and the contraction runs over its columns.
 pub fn syrk_nt_v(a: MatRef<'_>, alpha: f64) -> Matrix {
+    crate::paranoid::check_finite("syrk_nt", "A", a.as_slice());
+    crate::paranoid::check_finite_scalar("syrk_nt", "alpha", alpha);
     let m = a.rows();
     let mut c = Matrix::zeros(m, m);
     // Accumulate outer products column by column, upper triangle only.

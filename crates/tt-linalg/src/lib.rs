@@ -21,10 +21,13 @@
 //! output buffers where it matters. Numerical conventions follow LAPACK:
 //! eigenvalues ascending, singular values descending, thin factorizations.
 
+#![forbid(unsafe_code)]
+
 pub mod chol;
 pub mod eig;
 pub mod gemm;
 pub mod matrix;
+pub mod paranoid;
 pub mod qr;
 pub mod rng;
 pub mod svd;

@@ -23,6 +23,7 @@ pub struct QrFactors {
 
 /// Computes the Householder QR factorization of `a`.
 pub fn householder_qr(a: &Matrix) -> QrFactors {
+    crate::paranoid::check_finite("householder_qr", "A", a.as_slice());
     let mut f = a.clone();
     let (m, n) = f.shape();
     let k = m.min(n);
@@ -118,6 +119,8 @@ pub fn qr_stacked_pair(r1: &Matrix, r2: &Matrix) -> (Matrix, Matrix) {
         r2.cols(),
         "stacked QR requires equal column counts"
     );
+    crate::paranoid::check_finite("qr_stacked_pair", "R1", r1.as_slice());
+    crate::paranoid::check_finite("qr_stacked_pair", "R2", r2.as_slice());
     let stacked = r1.vstack(r2);
     let f = householder_qr(&stacked);
     (f.thin_q(), f.r())
@@ -175,16 +178,16 @@ fn apply_stored_reflector(stored: &Matrix, j: usize, tau: f64, b: &mut Matrix, w
     let m = stored.rows();
     let n = b.cols();
     debug_assert!(work.len() >= n);
-    for c in 0..n {
+    for (c, w) in work.iter_mut().enumerate().take(n) {
         let bcol = b.col(c);
         let mut s = bcol[j];
         for i in j + 1..m {
             s += stored[(i, j)] * bcol[i];
         }
-        work[c] = s;
+        *w = s;
     }
-    for c in 0..n {
-        let tw = tau * work[c];
+    for (c, &w) in work.iter().enumerate().take(n) {
+        let tw = tau * w;
         let bcol = b.col_mut(c);
         bcol[j] -= tw;
         for i in j + 1..m {

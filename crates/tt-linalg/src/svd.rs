@@ -50,6 +50,7 @@ const MAX_SWEEPS: usize = 60;
 /// strictly decreasing); after [`MAX_SWEEPS`] the current iterate is
 /// returned, which for any realistic input is long past convergence.
 pub fn jacobi_svd(a: &Matrix) -> Svd {
+    crate::paranoid::check_finite("jacobi_svd", "A", a.as_slice());
     let (m, n) = a.shape();
     if m < n {
         // Work on the transpose and swap the roles of U and V.
@@ -92,7 +93,7 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     // Extract singular values and normalize the left vectors.
     let mut sigma: Vec<f64> = (0..n).map(|j| norm2(w.col(j))).collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
 
     let mut u = Matrix::zeros(m, n);
     let mut vs = Matrix::zeros(n, n);
@@ -123,6 +124,8 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
 ///
 /// Returns `(L, discarded_norm)`.
 pub fn truncation_rank(singular_values: &[f64], threshold: f64) -> (usize, f64) {
+    crate::paranoid::check_finite("truncation_rank", "singular_values", singular_values);
+    crate::paranoid::check_finite_scalar("truncation_rank", "threshold", threshold);
     let k = singular_values.len();
     if k == 0 {
         return (0, 0.0);
@@ -155,6 +158,7 @@ pub fn truncation_rank(singular_values: &[f64], threshold: f64) -> (usize, f64) 
 /// ε-truncated SVD: full Jacobi SVD followed by the tail-energy truncation
 /// rule of [`truncation_rank`].
 pub fn tsvd(a: &Matrix, threshold: f64) -> TruncatedSvd {
+    crate::paranoid::check_finite_scalar("tsvd", "threshold", threshold);
     let full = jacobi_svd(a);
     let (rank, discarded) = truncation_rank(&full.singular_values, threshold);
     TruncatedSvd {

@@ -20,11 +20,16 @@ use crate::Result;
 /// descending with orthonormal `U` (`m × k`) and `V` (`n × k`),
 /// `k = min(m, n)`.
 pub fn golub_kahan_svd(a: &Matrix) -> Result<Svd> {
+    crate::paranoid::check_finite("golub_kahan_svd", "A", a.as_slice());
     let (m, n) = a.shape();
     if m < n {
         // Work on the transpose and swap factors.
         let t = golub_kahan_svd(&a.transpose())?;
-        return Ok(Svd { u: t.v, singular_values: t.singular_values, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            singular_values: t.singular_values,
+            v: t.u,
+        });
     }
     if n == 0 {
         return Ok(Svd {
@@ -38,7 +43,7 @@ pub fn golub_kahan_svd(a: &Matrix) -> Result<Svd> {
     let mut work = a.clone();
     let mut d = vec![0.0; n]; // diagonal of B
     let mut e = vec![0.0; n]; // superdiagonal of B (e[0] unused)
-    // Accumulated transforms, applied to identity during the reduction.
+                              // Accumulated transforms, applied to identity during the reduction.
     let mut u = Matrix::zeros(m, n);
     for j in 0..n {
         u[(j, j)] = 1.0;
@@ -95,9 +100,25 @@ pub fn golub_kahan_svd(a: &Matrix) -> Result<Svd> {
     let core = crate::svd::jacobi_svd(&b);
 
     // Compose: A = (U·U_b) Σ (V·V_b)ᵀ.
-    let su = crate::gemm::gemm(crate::gemm::Trans::No, &u, crate::gemm::Trans::No, &core.u, 1.0);
-    let sv = crate::gemm::gemm(crate::gemm::Trans::No, &v, crate::gemm::Trans::No, &core.v, 1.0);
-    Ok(Svd { u: su, singular_values: core.singular_values, v: sv })
+    let su = crate::gemm::gemm(
+        crate::gemm::Trans::No,
+        &u,
+        crate::gemm::Trans::No,
+        &core.u,
+        1.0,
+    );
+    let sv = crate::gemm::gemm(
+        crate::gemm::Trans::No,
+        &v,
+        crate::gemm::Trans::No,
+        &core.v,
+        1.0,
+    );
+    Ok(Svd {
+        u: su,
+        singular_values: core.singular_values,
+        v: sv,
+    })
 }
 
 /// Householder reflector for column `k` below the diagonal.
@@ -227,11 +248,20 @@ mod tests {
             us.scale_col(j, sv);
         }
         let back = gemm(Trans::No, &us, Trans::Yes, &s.v, 1.0);
-        assert!(back.max_abs_diff(&a) < 1e-10 * (1.0 + a.max_abs()), "reconstruct {m}x{n}");
+        assert!(
+            back.max_abs_diff(&a) < 1e-10 * (1.0 + a.max_abs()),
+            "reconstruct {m}x{n}"
+        );
         let utu = gemm(Trans::Yes, &s.u, Trans::No, &s.u, 1.0);
-        assert!(utu.max_abs_diff(&Matrix::identity(k)) < 1e-10, "U orth {m}x{n}");
+        assert!(
+            utu.max_abs_diff(&Matrix::identity(k)) < 1e-10,
+            "U orth {m}x{n}"
+        );
         let vtv = gemm(Trans::Yes, &s.v, Trans::No, &s.v, 1.0);
-        assert!(vtv.max_abs_diff(&Matrix::identity(k)) < 1e-10, "V orth {m}x{n}");
+        assert!(
+            vtv.max_abs_diff(&Matrix::identity(k)) < 1e-10,
+            "V orth {m}x{n}"
+        );
         for w in s.singular_values.windows(2) {
             assert!(w[0] >= w[1]);
         }

@@ -57,7 +57,11 @@ fn gram_route_cannot_resolve_below_sqrt_eps() {
     );
     // ... but it stays bounded by ~√ε·σ₁ (a small nonzero quantity, which
     // is exactly the robustness property §III-B2 relies on).
-    assert!(sv[1] < 1e-6, "Gram σ₂ estimate should stay near √ε·σ₁, got {}", sv[1]);
+    assert!(
+        sv[1] < 1e-6,
+        "Gram σ₂ estimate should stay near √ε·σ₁, got {}",
+        sv[1]
+    );
 }
 
 #[test]
@@ -69,7 +73,10 @@ fn gram_route_accurate_above_sqrt_eps() {
     let a = matrix_with_spectrum(60, &spectrum, 3);
     let sv = gram_singular_values(&a);
     let rel_err = (sv[1] - 1e-6).abs() / 1e-6;
-    assert!(rel_err < 1e-3, "Gram route should resolve σ₂ = 1e-6, err {rel_err}");
+    assert!(
+        rel_err < 1e-3,
+        "Gram route should resolve σ₂ = 1e-6, err {rel_err}"
+    );
 }
 
 #[test]
@@ -84,7 +91,11 @@ fn error_scales_with_conditioning() {
         let gram = gram_singular_values(&a)[1];
         let direct_err = (direct - sigma_min).abs() / sigma_min;
         let gram_err = (gram - sigma_min).abs() / sigma_min;
-        assert!(direct_err < 1e-8, "direct err {direct_err} at κ = {}", 1.0 / sigma_min);
+        assert!(
+            direct_err < 1e-8,
+            "direct err {direct_err} at κ = {}",
+            1.0 / sigma_min
+        );
         // The Gram error must be growing with κ (allowing noise at the
         // well-conditioned end).
         assert!(
@@ -94,5 +105,8 @@ fn error_scales_with_conditioning() {
         prev_gram_err = gram_err;
     }
     // At κ = 1e6 (σ² ratio 1e12 ≈ 1/ε·10⁴) the Gram error is visible.
-    assert!(prev_gram_err > 1e-8, "expected visible Gram error at κ = 1e6: {prev_gram_err}");
+    assert!(
+        prev_gram_err > 1e-8,
+        "expected visible Gram error at κ = 1e6: {prev_gram_err}"
+    );
 }

@@ -23,12 +23,12 @@
 
 use crate::gmres::{GmresOptions, GmresTrace, IterationRecord, RoundingMethod, TrueResidualMode};
 use crate::operator::{KroneckerSumOperator, ModeFactor};
+use std::time::Instant;
 use tt_comm::Communicator;
 use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
 use tt_core::{block_range, GramOrder, RoundingOptions, TtTensor};
 use tt_linalg::Matrix;
 use tt_sparse::BandedCholesky;
-use std::time::Instant;
 
 /// A Kronecker-sum operator prepared for one rank of a 1-D-distributed run.
 pub struct DistKroneckerOperator {
@@ -66,7 +66,10 @@ impl DistKroneckerOperator {
                     .collect()
             })
             .collect();
-        DistKroneckerOperator { terms, global_dims: global_dims.to_vec() }
+        DistKroneckerOperator {
+            terms,
+            global_dims: global_dims.to_vec(),
+        }
     }
 
     /// Applies the operator to this rank's local block of a TT vector
@@ -93,7 +96,13 @@ impl DistKroneckerOperator {
                 Some(prev) => prev.add(&y),
             });
         }
-        acc.expect("operator has no terms")
+        match acc {
+            Some(sum) => sum,
+            None => panic!(
+                "distributed operator application: the operator has no terms; \
+                 construct it with at least one mode factor"
+            ),
+        }
     }
 }
 
@@ -146,9 +155,17 @@ pub struct DistMeanPreconditioner {
 impl DistMeanPreconditioner {
     /// Factors the (global) mean matrix; every rank holds the factor.
     pub fn new(mean_matrix: &tt_sparse::CsrMatrix) -> Self {
-        let factor =
-            BandedCholesky::factor(mean_matrix).expect("mean matrix must be SPD");
-        DistMeanPreconditioner { global_i1: factor.dim(), factor }
+        let Some(factor) = BandedCholesky::factor(mean_matrix) else {
+            panic!(
+                "DistMeanPreconditioner::new: the mean matrix is not \
+                 numerically SPD; a stiffness matrix always is, so the \
+                 assembled operator is corrupted"
+            )
+        };
+        DistMeanPreconditioner {
+            global_i1: factor.dim(),
+            factor,
+        }
     }
 
     /// Applies `M⁻¹` to the local block.
@@ -261,8 +278,7 @@ pub fn dist_tt_gmres(
         }
         if opts.stagnation_window > 0 && iterations.len() > opts.stagnation_window {
             let now = iterations[iterations.len() - 1].relative_residual;
-            let then = iterations[iterations.len() - 1 - opts.stagnation_window]
-                .relative_residual;
+            let then = iterations[iterations.len() - 1 - opts.stagnation_window].relative_residual;
             if now > 0.999 * then {
                 break;
             }
@@ -317,7 +333,7 @@ mod tests {
     use super::*;
     use crate::precond::MeanPreconditioner;
     use crate::{tt_gmres, IdentityPreconditioner, Preconditioner, TtOperator};
-    use tt_comm::{SelfComm, ThreadComm};
+    use tt_comm::SelfComm;
     use tt_core::{gather_tensor, scatter_tensor};
     use tt_sparse::{CooBuilder, CsrMatrix};
 
@@ -341,7 +357,10 @@ mod tests {
         let b = tridiag(n1, 2.0);
         let mut op = KroneckerSumOperator::new();
         op.add_term(vec![ModeFactor::Sparse(a.clone()), ModeFactor::Identity]);
-        op.add_term(vec![ModeFactor::Sparse(b.clone()), ModeFactor::Diagonal(rho.clone())]);
+        op.add_term(vec![
+            ModeFactor::Sparse(b.clone()),
+            ModeFactor::Diagonal(rho.clone()),
+        ]);
         let mean_rho = rho.iter().sum::<f64>() / rho.len() as f64;
         let mean = a.add_scaled(mean_rho, &b);
         use rand::SeedableRng;
@@ -356,7 +375,7 @@ mod tests {
         let seq = op.apply(&f);
         for p in [1usize, 2, 3] {
             let (op2, f2, dims2) = (op.clone(), f.clone(), dims.clone());
-            let gathered = ThreadComm::run(p, |comm| {
+            let gathered = tt_comm::run_verified(p, |comm| {
                 let dop = DistKroneckerOperator::new(&op2, &dims2, p, comm.rank());
                 let local = scatter_tensor(&f2, &comm);
                 let y = dop.apply(&comm, &local);
@@ -375,7 +394,7 @@ mod tests {
         let seq = MeanPreconditioner::new(&mean).apply(&f);
         for p in [2usize, 4] {
             let (f2, mean2, dims2) = (f.clone(), mean.clone(), dims.clone());
-            let gathered = ThreadComm::run(p, |comm| {
+            let gathered = tt_comm::run_verified(p, |comm| {
                 let pre = DistMeanPreconditioner::new(&mean2);
                 let local = scatter_tensor(&f2, &comm);
                 let y = pre.apply(&comm, &local);
@@ -406,30 +425,40 @@ mod tests {
         let (u_seq, tr_seq) = dist_tt_gmres(&comm, &dop, &pre, &f, &opts);
         assert!(tr_seq.converged);
         // ... which must agree with the plain sequential solver.
-        let (u_plain, _) = tt_gmres(
-            &op,
-            &MeanPreconditioner::new(&mean),
-            &f,
-            &opts,
-        );
+        let (u_plain, _) = tt_gmres(&op, &MeanPreconditioner::new(&mean), &f, &opts);
         let gap = u_seq.to_dense().fro_dist(&u_plain.to_dense());
-        assert!(gap < 1e-5 * (1.0 + u_plain.norm()), "self-comm vs sequential: {gap}");
+        assert!(
+            gap < 1e-5 * (1.0 + u_plain.norm()),
+            "self-comm vs sequential: {gap}"
+        );
 
         for p in [2usize, 3] {
-            let (op2, f2, mean2, dims2, opts2) =
-                (op.clone(), f.clone(), mean.clone(), dims.clone(), opts.clone());
-            let results = ThreadComm::run(p, |comm| {
+            let (op2, f2, mean2, dims2, opts2) = (
+                op.clone(),
+                f.clone(),
+                mean.clone(),
+                dims.clone(),
+                opts.clone(),
+            );
+            let results = tt_comm::run_verified(p, |comm| {
                 let dop = DistKroneckerOperator::new(&op2, &dims2, p, comm.rank());
                 let pre = DistMeanPreconditioner::new(&mean2);
                 let local = scatter_tensor(&f2, &comm);
                 let (u, tr) = dist_tt_gmres(&comm, &dop, &pre, &local, &opts2);
-                (gather_tensor(&u, &dims2, &comm), tr.converged, tr.iterations.len())
+                (
+                    gather_tensor(&u, &dims2, &comm),
+                    tr.converged,
+                    tr.iterations.len(),
+                )
             });
             for (g, conv, iters) in results {
                 assert!(conv, "p={p} did not converge");
                 assert_eq!(iters, tr_seq.iterations.len(), "p={p}: iteration count");
                 let gap = g.to_dense().fro_dist(&u_seq.to_dense());
-                assert!(gap < 1e-6 * (1.0 + u_seq.norm()), "p={p}: solution gap {gap}");
+                assert!(
+                    gap < 1e-6 * (1.0 + u_seq.norm()),
+                    "p={p}: solution gap {gap}"
+                );
             }
         }
     }

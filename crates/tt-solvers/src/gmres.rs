@@ -364,7 +364,9 @@ fn tt_gmres_restarted(
         let gu = op.apply(&new_u);
         let diff = f.sub(&gu);
         let t0 = Instant::now();
-        r = opts.rounding.round(&diff, (opts.tolerance * 0.1).max(1e-14));
+        r = opts
+            .rounding
+            .round(&diff, (opts.tolerance * 0.1).max(1e-14));
         rounding_seconds += t0.elapsed().as_secs_f64();
         u = Some(new_u);
         rel = r.norm() / beta0;
@@ -599,10 +601,17 @@ mod tests {
             restart: Some(6),
         };
         let (_, trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &opts);
-        assert!(trace.converged, "restarted GMRES failed: {:?}", trace.computed_relative_residual);
+        assert!(
+            trace.converged,
+            "restarted GMRES failed: {:?}",
+            trace.computed_relative_residual
+        );
         assert!(trace.true_relative_residual < 1e-4);
         // Restart cost: typically more total iterations than full GMRES.
-        let full = GmresOptions { restart: None, ..opts };
+        let full = GmresOptions {
+            restart: None,
+            ..opts
+        };
         let (_, full_trace) = tt_gmres(&op, &IdentityPreconditioner, &f, &full);
         assert!(trace.iterations.len() >= full_trace.iterations.len());
     }

@@ -6,6 +6,8 @@
 //! Kronecker-sum operators of parametrized PDEs and the rank-one *mean
 //! preconditioner* of Kressner–Tobler [26].
 
+#![forbid(unsafe_code)]
+
 pub mod dist_gmres;
 pub mod gmres;
 pub mod operator;

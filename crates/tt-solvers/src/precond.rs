@@ -40,8 +40,13 @@ impl MeanPreconditioner {
     ///
     /// Panics if `mean_matrix` is not SPD (a stiffness matrix always is).
     pub fn new(mean_matrix: &CsrMatrix) -> Self {
-        let factor =
-            BandedCholesky::factor(mean_matrix).expect("mean preconditioner matrix must be SPD");
+        let Some(factor) = BandedCholesky::factor(mean_matrix) else {
+            panic!(
+                "MeanPreconditioner::new: the mean matrix is not numerically \
+                 SPD; a stiffness matrix always is, so the assembled operator \
+                 is corrupted"
+            )
+        };
         MeanPreconditioner { factor }
     }
 

@@ -149,7 +149,10 @@ mod tests {
         let b = tridiag(n1, 2.0);
         let mut op = KroneckerSumOperator::new();
         op.add_term(vec![ModeFactor::Sparse(a.clone()), ModeFactor::Identity]);
-        op.add_term(vec![ModeFactor::Sparse(b.clone()), ModeFactor::Diagonal(rho.clone())]);
+        op.add_term(vec![
+            ModeFactor::Sparse(b.clone()),
+            ModeFactor::Diagonal(rho.clone()),
+        ]);
         let mean_rho = rho.iter().sum::<f64>() / rho.len() as f64;
         let mean = a.add_scaled(mean_rho, &b);
         let pre = MeanPreconditioner::new(&mean);
@@ -168,7 +171,11 @@ mod tests {
             ..Default::default()
         };
         let (u, trace) = tt_richardson(&op, &pre, &f, &opts);
-        assert!(trace.converged, "residuals: {:?}", &trace.residuals[..8.min(trace.residuals.len())]);
+        assert!(
+            trace.converged,
+            "residuals: {:?}",
+            &trace.residuals[..8.min(trace.residuals.len())]
+        );
         // True residual densely.
         let gu = crate::operator::TtOperator::apply(&op, &u);
         let res = f.to_dense().fro_dist(&gu.to_dense()) / f.norm();
@@ -178,7 +185,11 @@ mod tests {
     #[test]
     fn residuals_decrease_monotonically_at_linear_rate() {
         let (op, f, pre) = contractive_system();
-        let opts = RichardsonOptions { tolerance: 1e-10, max_iters: 60, ..Default::default() };
+        let opts = RichardsonOptions {
+            tolerance: 1e-10,
+            max_iters: 60,
+            ..Default::default()
+        };
         let (_, trace) = tt_richardson(&op, &pre, &f, &opts);
         // Linear convergence: ratios roughly constant and < 1.
         let rs = &trace.residuals;
@@ -190,7 +201,11 @@ mod tests {
     #[test]
     fn ranks_stay_bounded() {
         let (op, f, pre) = contractive_system();
-        let opts = RichardsonOptions { tolerance: 1e-8, max_iters: 200, ..Default::default() };
+        let opts = RichardsonOptions {
+            tolerance: 1e-8,
+            max_iters: 200,
+            ..Default::default()
+        };
         let (_, trace) = tt_richardson(&op, &pre, &f, &opts);
         // The solution manifold has modest ranks; rounding must keep the
         // iterates from inflating (the whole point of rounding in solvers).
@@ -200,8 +215,11 @@ mod tests {
     #[test]
     fn gmres_beats_richardson_in_iterations() {
         let (op, f, pre) = contractive_system();
-        let r_opts =
-            RichardsonOptions { tolerance: 1e-6, max_iters: 400, ..Default::default() };
+        let r_opts = RichardsonOptions {
+            tolerance: 1e-6,
+            max_iters: 400,
+            ..Default::default()
+        };
         let (_, rich) = tt_richardson(&op, &pre, &f, &r_opts);
         let g_opts = crate::gmres::GmresOptions {
             tolerance: 1e-6,

@@ -19,7 +19,11 @@ fn spd_tridiag(n: usize, seed: u64) -> CsrMatrix {
     };
     let mut b = CooBuilder::new(n, n);
     for i in 0..n {
-        let off = if i + 1 < n { -(0.5 + 0.5 * next()) } else { 0.0 };
+        let off = if i + 1 < n {
+            -(0.5 + 0.5 * next())
+        } else {
+            0.0
+        };
         if i + 1 < n {
             b.add(i, i + 1, off);
             b.add(i + 1, i, off);
@@ -30,13 +34,12 @@ fn spd_tridiag(n: usize, seed: u64) -> CsrMatrix {
 }
 
 /// A small SPD two-term Kronecker operator on random dimensions.
-fn random_system(
-    n1: usize,
-    n2: usize,
-    seed: u64,
-) -> (KroneckerSumOperator, tt_core::TtTensor) {
+fn random_system(n1: usize, n2: usize, seed: u64) -> (KroneckerSumOperator, tt_core::TtTensor) {
     let mut op = KroneckerSumOperator::new();
-    op.add_term(vec![ModeFactor::Sparse(spd_tridiag(n1, seed)), ModeFactor::Identity]);
+    op.add_term(vec![
+        ModeFactor::Sparse(spd_tridiag(n1, seed)),
+        ModeFactor::Identity,
+    ]);
     let diag: Vec<f64> = (0..n2).map(|i| 0.2 + (i as f64) * 0.3).collect();
     op.add_term(vec![
         ModeFactor::Sparse(spd_tridiag(n1, seed.wrapping_add(3))),

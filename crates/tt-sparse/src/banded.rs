@@ -90,16 +90,16 @@ impl BandedCholesky {
             let yj = b[j] / self.band[(0, j)];
             b[j] = yj;
             let top = (j + bw + 1).min(n);
-            for i in j + 1..top {
-                b[i] -= self.band[(i - j, j)] * yj;
+            for (i, bi) in b.iter_mut().enumerate().take(top).skip(j + 1) {
+                *bi -= self.band[(i - j, j)] * yj;
             }
         }
         // Backward: Lᵀ x = y
         for j in (0..n).rev() {
             let top = (j + bw + 1).min(n);
             let mut s = b[j];
-            for i in j + 1..top {
-                s -= self.band[(i - j, j)] * b[i];
+            for (i, &bi) in b.iter().enumerate().take(top).skip(j + 1) {
+                s -= self.band[(i - j, j)] * bi;
             }
             b[j] = s / self.band[(0, j)];
         }

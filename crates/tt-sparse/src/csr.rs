@@ -129,10 +129,10 @@ impl CsrMatrix {
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
         let mut d = vec![0.0; n];
-        for i in 0..n {
+        for (i, di) in d.iter_mut().enumerate().take(n) {
             for (j, v) in self.row(i) {
                 if j == i {
-                    d[i] = v;
+                    *di = v;
                 }
             }
         }
@@ -143,12 +143,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(y.len(), self.rows, "matvec: y length");
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate().take(self.rows) {
             let mut s = 0.0;
             for (j, v) in self.row(i) {
                 s += v * x[j];
             }
-            y[i] = s;
+            *yi = s;
         }
     }
 
@@ -160,14 +160,14 @@ impl CsrMatrix {
         for c in 0..x.cols() {
             let xcol = x.col(c);
             let ycol = y.col_mut(c);
-            for i in 0..self.rows {
+            for (i, yv) in ycol.iter_mut().enumerate().take(self.rows) {
                 let mut s = 0.0;
                 let lo = self.row_ptr[i];
                 let hi = self.row_ptr[i + 1];
                 for k in lo..hi {
                     s += self.vals[k] * xcol[self.col_idx[k]];
                 }
-                ycol[i] = s;
+                *yv = s;
             }
         }
         y

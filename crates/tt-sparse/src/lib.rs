@@ -13,6 +13,8 @@
 //! * [`conjugate_gradient`] — Jacobi-preconditioned CG as the
 //!   matrix-structure-agnostic alternative.
 
+#![forbid(unsafe_code)]
+
 pub mod banded;
 pub mod cg;
 pub mod csr;

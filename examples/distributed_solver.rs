@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release --example distributed_solver`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_gram_round::comm::{Communicator, ThreadComm};
 use tt_gram_round::cookies::CookiesProblem;
 use tt_gram_round::solvers::gmres::TrueResidualMode;
@@ -48,8 +49,13 @@ fn main() {
     // Distributed solves on P threads (1-core machines time-share; the
     // point here is bitwise-equivalent results through real collectives).
     for p in [2usize, 4] {
-        let (op2, f2, mean2, dims2, opts2) =
-            (op.clone(), f.clone(), mean.clone(), dims.clone(), opts.clone());
+        let (op2, f2, mean2, dims2, opts2) = (
+            op.clone(),
+            f.clone(),
+            mean.clone(),
+            dims.clone(),
+            opts.clone(),
+        );
         let results = ThreadComm::run(p, |comm| {
             let dop = DistKroneckerOperator::new(&op2, &dims2, p, comm.rank());
             let pre = DistMeanPreconditioner::new(&mean2);

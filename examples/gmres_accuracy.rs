@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example gmres_accuracy`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use tt_gram_round::cookies::CookiesProblem;
 use tt_gram_round::solvers::gmres::TrueResidualMode;
 use tt_gram_round::solvers::{tt_gmres, GmresOptions, RoundingMethod};

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example matrix_truncation`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use rand::SeedableRng;
 use tt_gram_round::linalg::{gemm, householder_qr, Matrix, Trans};
 use tt_gram_round::tt::matprod::{mat_rounding_qr, tsvd_abt_cholqr, tsvd_abt_gram};

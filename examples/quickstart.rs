@@ -3,6 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use rand::SeedableRng;
 use tt_gram_round::tt::{round_gram_lrl, round_qr, RoundingOptions, TtTensor};
 

@@ -4,10 +4,11 @@
 //!
 //! Run with: `cargo run --release --example randomized_rounding`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use rand::SeedableRng;
 use tt_gram_round::tt::round::{round_randomized, RandomizedOptions};
-use tt_gram_round::tt::{round_gram_lrl, round_gram_rlr, round_gram_simultaneous, round_qr};
 use tt_gram_round::tt::synthetic::generate_redundant;
+use tt_gram_round::tt::{round_gram_lrl, round_gram_rlr, round_gram_simultaneous, round_qr};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
@@ -24,7 +25,10 @@ fn main() {
         x.max_rank() / 2
     );
     println!();
-    println!("{:<22} {:>10} {:>10} {:>12}", "method", "time", "max rank", "rel error");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "method", "time", "max rank", "rel error"
+    );
 
     let timed = |name: &str, f: &dyn Fn() -> tt_gram_round::tt::TtTensor| {
         let t0 = std::time::Instant::now();

@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scaling_study`
 
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
 use rand::SeedableRng;
 use tt_gram_round::comm::{Communicator, CostModel, ThreadComm};
 use tt_gram_round::tt::round::round_gram_seq_dist;

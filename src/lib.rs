@@ -31,6 +31,8 @@
 //! assert!(z.sub(&two_x).norm() <= 1e-6 * two_x.norm());
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// The simulated distributed-memory runtime (communicators, cost model).
 pub use tt_comm as comm;
 /// The cookies parametrized-PDE application (§II-C, §V-D).

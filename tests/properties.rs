@@ -2,7 +2,6 @@
 
 use proptest::prelude::*;
 use rand::SeedableRng;
-use tt_gram_round::comm::ThreadComm;
 use tt_gram_round::tt::{
     round_gram_lrl, round_gram_rlr, round_gram_simultaneous, round_qr, scatter_tensor, TtTensor,
 };
@@ -128,7 +127,7 @@ proptest! {
         let y = build(&dims, &ranks, seed.wrapping_add(9));
         let (dx, dy) = (x.to_dense(), y.to_dense());
         let expect: f64 = dx.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
-        let vals = ThreadComm::run(p, |comm| {
+        let vals = tt_comm::run_verified(p, |comm| {
             let xl = scatter_tensor(&x, &comm);
             let yl = scatter_tensor(&y, &comm);
             tt_gram_round::tt::dist::inner_local(&comm, &xl, &yl)

@@ -1,0 +1,205 @@
+//! Offline drop-in shim for the subset of [Criterion] this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal API-compatible reimplementation (DESIGN.md §6): `criterion_group!`/
+//! `criterion_main!`, benchmark groups, `bench_function`/`bench_with_input`,
+//! and `Bencher::iter`. Measurement is a fixed warmup followed by a bounded
+//! timed loop, reporting mean and min wall-clock time per iteration — no
+//! statistical analysis, HTML reports, or baselines.
+//!
+//! [Criterion]: https://docs.rs/criterion
+
+#![allow(clippy::print_stdout)] // user-facing output is this target's job
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value helper (`criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 20, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: std::fmt::Display,
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<F, T: ?Sized, I>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+        I: std::fmt::Display,
+    {
+        run_one(&id.to_string(), self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate in this shim; kept for API
+    /// compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter (shim of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier showing only the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing harness handed to benchmark closures (shim of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// Samples to collect in the timed phase.
+    target_samples: usize,
+    /// Hard wall-clock budget so slow benches stay bounded.
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to the configured number of samples
+    /// within the time budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: one untimed call (pages in code and data).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        target_samples: sample_size,
+        budget: Duration::from_secs(3),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples: Bencher::iter never called)");
+        return;
+    }
+    let n = b.samples.len() as u32;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{id:<40} mean {:>12?}  min {:>12?}  ({n} samples)",
+        mean, min
+    );
+}
+
+/// Declares the benchmark entry list (shim of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

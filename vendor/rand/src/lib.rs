@@ -1,0 +1,224 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the three external dev-facing crates it depends on (`rand`, `proptest`,
+//! `criterion`) as minimal API-compatible reimplementations (DESIGN.md §6).
+//! This crate covers exactly what the TT reproduction calls:
+//!
+//! * [`SeedableRng::seed_from_u64`] — deterministic seeding,
+//! * [`rngs::StdRng`] — the standard generator (here xoshiro256++ seeded via
+//!   SplitMix64 instead of ChaCha12; every use in the workspace is either
+//!   statistical or compares two runs of the *same* stream, so the concrete
+//!   generator does not matter),
+//! * [`Rng::gen`] for `f64`/`u64`/`u32`/`usize`/`bool` draws.
+//!
+//! The generator is deliberately *not* cryptographic.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling interface (the subset of `rand::Rng` we need).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over their range).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range<T: SampleUniform>(&mut self, low: T, high: T) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, low, high)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from their "standard" distribution (`rand::distributions::Standard`).
+pub trait SampleStandard {
+    /// Draws one standard sample from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Draws one sample uniform in `[low, high)`.
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for usize {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: usize, high: usize) -> usize {
+        assert!(low < high, "gen_range: empty range {low}..{high}");
+        let span = (high - low) as u64;
+        // Modulo bias is negligible for the small spans this workspace draws.
+        low + (rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, low: f64, high: f64) -> f64 {
+        assert!(low < high, "gen_range: empty range {low}..{high}");
+        low + (high - low) * f64::sample_standard(rng)
+    }
+}
+
+/// Deterministic construction from a 64-bit seed (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seed expansion (Blackman–Vigna). Deterministic, fast, passes BigCrush;
+    /// not cryptographic.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rngs::StdRng::seed_from_u64(1);
+        let mut b = rngs::StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_draws_are_unit_interval() {
+        let mut rng = rngs::StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let k = rng.gen_range(3usize, 9usize);
+            assert!((3..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw(rng: &mut impl Rng) -> f64 {
+            rng.gen()
+        }
+        let mut rng = rngs::StdRng::seed_from_u64(5);
+        // Reborrow through a nested &mut, as the workspace's helpers do.
+        let r = &mut rng;
+        let x = draw(r);
+        let y = draw(r);
+        assert_ne!(x, y);
+    }
+}
