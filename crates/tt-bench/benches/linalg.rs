@@ -2,9 +2,12 @@
 //! sizes: the `R × R` eigen/SVD problems every bond truncation solves, and
 //! the tall-skinny factorizations of the unfolding kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
-use tt_linalg::{cholesky, eigh, golub_kahan_svd, householder_qr, jacobi_svd, syrk, Matrix};
+use tt_linalg::{
+    blocked_qr, cholesky, eigh, golub_kahan_svd, householder_qr, householder_qr_unblocked,
+    jacobi_svd, syrk, Matrix, Trans,
+};
 
 fn rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(7)
@@ -77,5 +80,90 @@ fn bench_qr(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eigh, bench_svd_backends, bench_qr);
+/// Blocked-vs-reference kernel pairs at the fig2/fig3 calibration sizes.
+/// Ids carry the `kernels_` prefix so `cargo xtask bench-check` can select
+/// exactly this set via `CRITERION_FILTER` and gate on the speedups in
+/// `BENCH_kernels.json`.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    let mut r = rng();
+
+    // GEMM at the γ-calibration size (the 256³ probe of `calibrate_gamma`).
+    let n = 256usize;
+    let a = Matrix::gaussian(n, n, &mut r);
+    let b = Matrix::gaussian(n, n, &mut r);
+    group.bench_function(BenchmarkId::new("kernels_gemm_blocked", n), |bch| {
+        bch.iter(|| {
+            let mut c_out = Matrix::zeros(n, n);
+            tt_linalg::block::gemm_accumulate(
+                Trans::No,
+                a.view(),
+                Trans::No,
+                b.view(),
+                1.0,
+                &mut c_out.view_mut(),
+            );
+            black_box(c_out)
+        });
+    });
+    group.bench_function(BenchmarkId::new("kernels_gemm_reference", n), |bch| {
+        bch.iter(|| {
+            let mut c_out = Matrix::zeros(n, n);
+            tt_linalg::reference::gemm_v(
+                Trans::No,
+                a.view(),
+                Trans::No,
+                b.view(),
+                1.0,
+                0.0,
+                c_out.view_mut(),
+            );
+            black_box(c_out)
+        });
+    });
+
+    // SYRK on a tall-skinny unfolding (the Gram-path workhorse shape).
+    let ts = Matrix::gaussian(40_000, 20, &mut r);
+    group.bench_function(
+        BenchmarkId::new("kernels_syrk_blocked", "40000x20"),
+        |bch| {
+            bch.iter(|| {
+                black_box(tt_linalg::block::syrk(
+                    ts.view(),
+                    1.0,
+                    tt_linalg::SyrkShape::TransposeA,
+                ))
+            });
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("kernels_syrk_reference", "40000x20"),
+        |bch| bch.iter(|| black_box(tt_linalg::reference::syrk_v(ts.view(), 1.0))),
+    );
+
+    // QR on a TSQR-leaf-like panel: compact-WY vs rank-1 reflector loop.
+    let q_in = Matrix::gaussian(4000, 32, &mut r);
+    group.bench_function(BenchmarkId::new("kernels_qr_blocked", "4000x32"), |bch| {
+        bch.iter(|| {
+            let f = blocked_qr(&q_in, 32);
+            black_box((f.thin_q(), f.r()))
+        });
+    });
+    group.bench_function(BenchmarkId::new("kernels_qr_unblocked", "4000x32"), |bch| {
+        bch.iter(|| {
+            let f = householder_qr_unblocked(&q_in);
+            black_box((f.thin_q(), f.r()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eigh,
+    bench_svd_backends,
+    bench_qr,
+    bench_kernels
+);
 criterion_main!(benches);

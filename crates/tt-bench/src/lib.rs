@@ -161,10 +161,21 @@ pub fn run_scaling_point_dims(
 
 /// Calibrates γ (seconds per flop) from a GEMM probe, so modeled compute
 /// numbers printed alongside measurements refer to this machine.
+///
+/// The probe goes through the public `gemm` dispatcher, which routes a
+/// 256×256×256 multiply to the packed blocked kernel
+/// (`tt_linalg::kernel_choice(256, 256, 256) == Kernel::Blocked` — pinned by
+/// a test below), and the modeled flop count is `gemm_flops` for the same
+/// dimensions. γ therefore reflects the flop rate of the engine the rounding
+/// hot path actually runs on, not the reference loops.
 pub fn calibrate_gamma() -> f64 {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let n = 256;
+    debug_assert_eq!(
+        tt_linalg::kernel_choice(n, n, n),
+        tt_linalg::Kernel::Blocked
+    );
     let a = tt_linalg::Matrix::gaussian(n, n, &mut rng);
     let b = tt_linalg::Matrix::gaussian(n, n, &mut rng);
     // warm-up + 3 timed reps
@@ -190,7 +201,7 @@ pub fn calibrated_model() -> CostModel {
 /// Prints the cost-model banner every harness emits.
 pub fn print_model_banner(model: &CostModel) {
     println!(
-        "# cost model: alpha = {:.2e} s/msg, beta = {:.2e} s/word, gamma = {:.2e} s/flop ({:.2} Gflop/s)",
+        "# cost model: alpha = {:.2e} s/msg, beta = {:.2e} s/word, gamma = {:.2e} s/flop ({:.2} Gflop/s, blocked-gemm probe)",
         model.alpha,
         model.beta,
         model.gamma,
@@ -244,6 +255,24 @@ pub fn fmt_secs(s: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pins the γ-calibration contract: the probe GEMM's dimensions route to
+    /// the blocked kernel, and the flop count the measurement is divided by
+    /// is the standard 2·m·n·k of that same multiply. If the dispatch
+    /// threshold ever moves past 256, or `gemm_flops` changes convention,
+    /// this fails rather than silently mis-calibrating the cost model.
+    #[test]
+    fn gamma_calibration_uses_blocked_kernel() {
+        assert_eq!(
+            tt_linalg::kernel_choice(256, 256, 256),
+            tt_linalg::Kernel::Blocked
+        );
+        let flops = tt_linalg::gemm_flops(256, 256, 256);
+        assert_eq!(flops, 2.0 * 256.0f64.powi(3));
+        let gamma = calibrate_gamma();
+        // Sanity range: between 10 Mflop/s and 1 Tflop/s on any real machine.
+        assert!(gamma > 1e-12 && gamma < 1e-7, "gamma = {gamma}");
+    }
 
     #[test]
     fn max_local_dims_is_ceiling() {

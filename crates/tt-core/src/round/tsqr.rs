@@ -7,6 +7,10 @@
 //! turns each local `Q` into its block of the global thin `Q` (downsweep).
 //! Bandwidth is `O(R² log P)` — the `log P` factor the Gram-SVD approach
 //! eliminates.
+//!
+//! The leaf factorizations go through `tt_linalg::householder_qr`, which
+//! routes tall-skinny local blocks to the compact-WY blocked QR — the leaves
+//! dominate TSQR's arithmetic, so their panel updates run as packed GEMMs.
 
 use tt_comm::{CollectiveKind, Communicator};
 use tt_linalg::{gemm, householder_qr, qr_stacked_pair, Matrix, Trans};

@@ -7,9 +7,12 @@
 //! TT algorithms need, on a single column-major [`Matrix`] type:
 //!
 //! * [`gemm`]/[`syrk`] — general and symmetric matrix multiplication
-//!   (the workhorses of the Gram-SVD rounding path),
-//! * [`qr`] — Householder QR with explicit thin-Q recovery and the stacked-R
-//!   combine step used by TSQR (the workhorse of the baseline rounding path),
+//!   (the workhorses of the Gram-SVD rounding path), dispatched between the
+//!   packed cache-blocked engine in [`block`] and the naive-loop oracle in
+//!   [`reference`],
+//! * [`qr`] — Householder QR (compact-WY blocked above a size threshold) with
+//!   explicit thin-Q recovery and the stacked-R combine step used by TSQR
+//!   (the workhorse of the baseline rounding path),
 //! * [`eig`] — symmetric eigendecomposition (Householder tridiagonalization +
 //!   implicit-shift QL), used for the Gram eigenproblems,
 //! * [`svd`] — one-sided Jacobi SVD and the ε-truncated TSVD rule used by all
@@ -23,23 +26,29 @@
 
 #![forbid(unsafe_code)]
 
+pub mod block;
 pub mod chol;
 pub mod eig;
 pub mod gemm;
 pub mod matrix;
 pub mod paranoid;
 pub mod qr;
+pub mod reference;
 pub mod rng;
 pub mod svd;
 pub mod svd_gk;
 pub mod tri;
 pub mod view;
 
+pub use block::SyrkShape;
 pub use chol::{cholesky, pivoted_cholesky, PivotedCholesky};
 pub use eig::{eigh, EigH};
-pub use gemm::{gemm, gemm_alloc, gemm_into, gemm_v, syrk, syrk_nt_v, syrk_v, Trans};
+pub use gemm::{
+    gemm, gemm_alloc, gemm_flops, gemm_into, gemm_v, kernel_choice, syrk, syrk_nt_v, syrk_v,
+    Kernel, Trans,
+};
 pub use matrix::Matrix;
-pub use qr::{householder_qr, qr_stacked_pair, QrFactors};
+pub use qr::{blocked_qr, householder_qr, householder_qr_unblocked, qr_stacked_pair, QrFactors};
 pub use svd::{jacobi_svd, truncation_rank, tsvd, Svd, TruncatedSvd};
 pub use svd_gk::golub_kahan_svd;
 pub use tri::{solve_lower, solve_upper, tri_invert_upper, trmm_right_lower, trmm_upper_left};

@@ -171,6 +171,67 @@ proptest! {
         prop_assert!(err <= 1e-6 * (1.0 + expect.to_dense().fro_norm()), "err {}", err);
     }
 
+    /// Differential test over the whole variant matrix: all four rounding
+    /// algorithms (QR baseline, Gram RLR/LRL/simultaneous), sequentially and
+    /// distributed over ThreadComm ranks, agree pairwise within the §III-B2
+    /// theory bound. Each variant guarantees ‖X − Y‖ ≤ τ‖X‖ (with the same
+    /// 1.5 constant-slack the error-bound test uses), so any two outputs are
+    /// within 2·1.5·τ‖X‖ of each other by the triangle inequality — and the
+    /// distributed runs must agree because they execute the same arithmetic
+    /// on scattered slices.
+    #[test]
+    fn rounding_variants_agree_pairwise(
+        (dims, ranks, seed) in tt_shape(),
+        tol_exp in 2u32..=6,
+        p in 2usize..=4,
+    ) {
+        let x = build(&dims, &ranks, seed);
+        let tol = 10f64.powi(-(tol_exp as i32));
+        let dense = x.to_dense();
+        let norm = dense.fro_norm();
+        let bound = 2.0 * 1.5 * tol * norm + 1e-12;
+
+        // Sequential: SelfComm under the hood.
+        let mut outputs: Vec<(String, _)> = vec![
+            ("qr/seq".to_string(), round_qr(&x, tol).to_dense()),
+            ("rlr/seq".to_string(), round_gram_rlr(&x, tol).to_dense()),
+            ("lrl/seq".to_string(), round_gram_lrl(&x, tol).to_dense()),
+            ("sim/seq".to_string(), round_gram_simultaneous(&x, tol).to_dense()),
+        ];
+
+        // Distributed: the same four variants over p thread-backed ranks.
+        let opts = tt_gram_round::tt::RoundingOptions::with_tolerance(tol);
+        for variant in ["qr", "rlr", "lrl", "sim"] {
+            let gathered = tt_comm::run_verified(p, |comm| {
+                let local = scatter_tensor(&x, &comm);
+                let (rounded, _report) = match variant {
+                    "qr" => tt_gram_round::tt::round::round_qr_dist(&comm, &local, &opts),
+                    "rlr" => tt_gram_round::tt::round::round_gram_seq_dist(
+                        &comm, &local, &opts, tt_gram_round::tt::GramOrder::Rlr),
+                    "lrl" => tt_gram_round::tt::round::round_gram_seq_dist(
+                        &comm, &local, &opts, tt_gram_round::tt::GramOrder::Lrl),
+                    _ => tt_gram_round::tt::round::round_gram_sim_dist(&comm, &local, &opts),
+                };
+                tt_gram_round::tt::gather_tensor(&rounded, &dims, &comm)
+            });
+            let mut it = gathered.into_iter();
+            if let Some(first) = it.next() {
+                outputs.push((format!("{variant}/dist{p}"), first.to_dense()));
+            }
+        }
+
+        for i in 0..outputs.len() {
+            for j in i + 1..outputs.len() {
+                let d = outputs[i].1.fro_dist(&outputs[j].1);
+                prop_assert!(
+                    d <= bound,
+                    "{} vs {}: pairwise distance {} exceeds the theory bound {}",
+                    outputs[i].0, outputs[j].0, d, bound
+                );
+            }
+        }
+    }
+
     /// Orthogonalization passes preserve the represented tensor and install
     /// their invariants.
     #[test]

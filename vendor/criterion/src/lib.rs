@@ -7,6 +7,14 @@
 //! timed loop, reporting mean and min wall-clock time per iteration — no
 //! statistical analysis, HTML reports, or baselines.
 //!
+//! Two environment variables hook the shim into `cargo xtask bench-check`:
+//!
+//! * `CRITERION_FILTER` — run only benchmarks whose id contains the given
+//!   substring (the shim's stand-in for real criterion's CLI filter);
+//! * `CRITERION_JSON` — append one JSON line per benchmark
+//!   (`{"id":…,"mean_ns":…,"min_ns":…,"samples":…}`) to the given file, so
+//!   the regression gate can parse results without scraping stdout.
+//!
 //! [Criterion]: https://docs.rs/criterion
 
 #![allow(clippy::print_stdout)] // user-facing output is this target's job
@@ -134,6 +142,11 @@ impl Bencher {
 }
 
 fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Ok(filter) = std::env::var("CRITERION_FILTER") {
+        if !filter.is_empty() && !id.contains(&filter) {
+            return;
+        }
+    }
     let mut b = Bencher {
         samples: Vec::new(),
         target_samples: sample_size,
@@ -152,6 +165,44 @@ fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         "{id:<40} mean {:>12?}  min {:>12?}  ({n} samples)",
         mean, min
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            emit_json(&path, id, mean, min, n);
+        }
+    }
+}
+
+/// Appends one machine-readable result line to `path`. Failures are reported
+/// on stderr but never fail the bench run itself.
+fn emit_json(path: &str, id: &str, mean: Duration, min: Duration, samples: u32) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+        json_escape(id),
+        mean.as_nanos(),
+        min.as_nanos(),
+        samples
+    );
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: could not append to CRITERION_JSON={path}: {e}");
+    }
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Declares the benchmark entry list (shim of `criterion::criterion_group!`).
@@ -201,5 +252,38 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain/id-256"), "plain/id-256");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn filter_and_json_hooks() {
+        // One test owns both env vars (they are process-global); assertions
+        // are containment-based so concurrent benches can only add lines.
+        let path =
+            std::env::temp_dir().join(format!("criterion-shim-{}.jsonl", std::process::id()));
+        let path_str = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path_str);
+        std::env::set_var("CRITERION_FILTER", "hook_kept");
+        run_one("hook_kept/one", 2, &mut |b| b.iter(|| black_box(1 + 1)));
+        run_one("hook_dropped/one", 2, &mut |b| b.iter(|| black_box(2 + 2)));
+        std::env::remove_var("CRITERION_FILTER");
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.contains("\"id\":\"hook_kept/one\"") && text.contains("\"mean_ns\":"),
+            "JSON line missing: {text:?}"
+        );
+        assert!(
+            !text.contains("hook_dropped"),
+            "filtered bench still emitted: {text:?}"
+        );
     }
 }

@@ -7,8 +7,10 @@
 //! * **No shrinking** — a failing case panics with the case index; cases are
 //!   deterministic per test name, so failures reproduce exactly.
 //! * **Deterministic seeding** — the RNG seed is derived from the test
-//!   function's name (FNV-1a), not from an entropy source or `PROPTEST`
-//!   environment variables.
+//!   function's name (FNV-1a), not from an entropy source. Of the `PROPTEST`
+//!   environment variables only `PROPTEST_CASES` is honored: like upstream it
+//!   overrides the per-test case count, so CI's nightly profile can raise
+//!   coverage (`PROPTEST_CASES=256`) without touching the sources.
 //! * Only the strategies the workspace uses exist: integer/float ranges,
 //!   `any::<T>()`, tuples, `collection::vec`, `prop_flat_map`, `prop_filter`.
 //!
@@ -70,6 +72,16 @@ impl TestRng {
     /// Uniform draw from `[0, 1)`.
     fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Effective case count for one property run: the `PROPTEST_CASES`
+/// environment variable when set and parseable (matching upstream proptest's
+/// env-override behavior), else the configured count.
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
     }
 }
 
@@ -405,8 +417,9 @@ macro_rules! __proptest_fns {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = $crate::resolve_cases(__cfg.cases);
             let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            for __case in 0..__cases {
                 let mut __rng =
                     $crate::TestRng::new(__seed ^ (__case as u64).wrapping_mul(0x2545F4914F6CDD1D));
                 $(let $binding = $crate::Strategy::sample(&{ $strat }, &mut __rng);)*
@@ -420,6 +433,18 @@ macro_rules! __proptest_fns {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn proptest_cases_env_overrides() {
+        // Unset / garbage values fall back to the configured count.
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(crate::resolve_cases(64), 64);
+        std::env::set_var("PROPTEST_CASES", "3");
+        assert_eq!(crate::resolve_cases(64), 3);
+        std::env::set_var("PROPTEST_CASES", "junk");
+        assert_eq!(crate::resolve_cases(64), 64);
+        std::env::remove_var("PROPTEST_CASES");
+    }
 
     #[test]
     fn ranges_sample_in_bounds() {

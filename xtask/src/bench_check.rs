@@ -1,0 +1,436 @@
+//! `cargo xtask bench-check`: the kernel benchmark regression gate.
+//!
+//! Runs the `kernels_*` pairs from `tt-bench/benches/linalg.rs` (blocked vs
+//! reference GEMM/SYRK/QR at the fig2/fig3 calibration sizes) through the
+//! criterion shim's `CRITERION_FILTER`/`CRITERION_JSON` hooks, then:
+//!
+//! 1. **Speedup gate** — the blocked GEMM must be ≥ 1.5× the reference
+//!    kernel at the 256³ γ-calibration size (the PR's acceptance bar);
+//! 2. **Regression gate** — against the recorded baseline in
+//!    `results/BENCH_kernels.json`, any benchmark whose best (min) time got
+//!    more than 15% slower fails the check;
+//! 3. **Recording** — `--record` (or a missing baseline) rewrites the
+//!    baseline file from the current run. Baselines are per-machine: CI runs
+//!    with `--record` so a foreign machine's numbers never gate a build.
+//!
+//! Timing gates on a shared box are noisy: a single criterion run's best
+//! time can wander well past 15% under scheduler interference. To keep the
+//! gate trustworthy the check re-runs the whole bench suite (up to
+//! [`MAX_ATTEMPTS`] times) when a timing gate fails, merges the
+//! per-benchmark best times across attempts, and only fails if the merged
+//! best still violates a gate — a genuine regression fails every attempt,
+//! while a noise spike passes on retry.
+
+use std::path::Path;
+use std::process::{Command, ExitCode};
+
+/// One benchmark result, as emitted by the criterion shim and as stored in
+/// the baseline file.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: u64,
+}
+
+/// Best-time regression tolerance vs the baseline (1.15 = 15% slower).
+const REGRESSION_FACTOR: f64 = 1.15;
+/// Required blocked-over-reference GEMM speedup at the calibration size.
+const GEMM_SPEEDUP_FLOOR: f64 = 1.5;
+/// Full bench-suite re-runs allowed before a timing-gate failure is final.
+const MAX_ATTEMPTS: usize = 3;
+
+/// The blocked/reference pairs the gate reasons about.
+const PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "gemm 256^3",
+        "kernels_gemm_blocked/256",
+        "kernels_gemm_reference/256",
+    ),
+    (
+        "syrk 40000x20",
+        "kernels_syrk_blocked/40000x20",
+        "kernels_syrk_reference/40000x20",
+    ),
+    (
+        "qr 4000x32",
+        "kernels_qr_blocked/4000x32",
+        "kernels_qr_unblocked/4000x32",
+    ),
+];
+
+/// Entry point for the `bench-check` subcommand.
+pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
+    let record = args.iter().any(|a| a == "--record");
+    let json_path = repo.join("target/bench-kernels.jsonl");
+    let baseline_path = repo.join("results/BENCH_kernels.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|text| parse_entries(&text));
+
+    // Best-of-up-to-MAX_ATTEMPTS: retry the whole suite while a *timing*
+    // gate fails, keeping each benchmark's best time across attempts. A
+    // structural failure (missing results) never retries.
+    let mut merged: Vec<Entry> = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        eprintln!("bench-check: bench attempt {attempt}/{MAX_ATTEMPTS} (criterion shim, kernels_* filter)...");
+        let run = match run_benches(repo, &json_path) {
+            Ok(run) => run,
+            Err(msg) => {
+                eprintln!("bench-check FAILURE: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        merge_best(&mut merged, run);
+        let failures = evaluate(&merged, baseline.as_deref(), record, false);
+        if failures.is_empty() || !retryable(&failures) {
+            break;
+        }
+        if attempt < MAX_ATTEMPTS {
+            eprintln!(
+                "bench-check: timing gate missed on attempt {attempt}; retrying to discount scheduler noise"
+            );
+        }
+    }
+
+    let failures = evaluate(&merged, baseline.as_deref(), record, true);
+    if baseline.is_none() && !record {
+        eprintln!(
+            "bench-check: no baseline at {}; recording one from this run",
+            baseline_path.display()
+        );
+    }
+
+    // Record the baseline when asked to (or when none exists yet).
+    if failures.is_empty() && (record || baseline.is_none()) {
+        if record {
+            eprintln!("bench-check: --record: rewriting baseline");
+        }
+        if let Err(e) = write_baseline(&baseline_path, &merged) {
+            eprintln!("bench-check FAILURE: could not write baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench-check: baseline written to {}",
+            baseline_path.display()
+        );
+    }
+
+    if failures.is_empty() {
+        eprintln!("bench-check: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench-check FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs one filtered pass of the `kernels_*` benches and parses the shim's
+/// JSONL output.
+fn run_benches(repo: &Path, json_path: &Path) -> Result<Vec<Entry>, String> {
+    let _ = std::fs::remove_file(json_path);
+    let status = Command::new("cargo")
+        .args(["bench", "-p", "tt-bench", "--bench", "linalg"])
+        .current_dir(repo)
+        .env("CRITERION_FILTER", "kernels_")
+        .env("CRITERION_JSON", json_path)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => return Err(format!("cargo bench exited with {s}")),
+        Err(e) => return Err(format!("cargo bench could not run: {e}")),
+    }
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|e| format!("no results at {}: {e}", json_path.display()))?;
+    let run = parse_entries(&text);
+    if run.is_empty() {
+        return Err("bench run produced zero kernels_* results".to_string());
+    }
+    Ok(run)
+}
+
+/// Folds a fresh run into the merged view, keeping each benchmark's best
+/// (minimum) mean and min times and accumulating the sample count.
+fn merge_best(merged: &mut Vec<Entry>, run: Vec<Entry>) {
+    for e in run {
+        if let Some(prev) = merged.iter_mut().find(|p| p.id == e.id) {
+            prev.min_ns = prev.min_ns.min(e.min_ns);
+            prev.mean_ns = prev.mean_ns.min(e.mean_ns);
+            prev.samples += e.samples;
+        } else {
+            merged.push(e);
+        }
+    }
+}
+
+/// A failure set is worth a re-measure only if every entry is a timing gate
+/// (speedup floor or baseline regression) — structural problems like missing
+/// bench IDs reproduce identically.
+fn retryable(failures: &[String]) -> bool {
+    failures
+        .iter()
+        .all(|f| !f.contains("missing bench results"))
+}
+
+/// Applies both gates to the (merged) results, returning the failure list.
+/// `verbose` controls the per-benchmark report lines; the evaluation itself
+/// is pure, so it can run quietly inside the retry loop and verbosely once
+/// at the end.
+fn evaluate(
+    current: &[Entry],
+    baseline: Option<&[Entry]>,
+    record: bool,
+    verbose: bool,
+) -> Vec<String> {
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. Blocked-vs-reference speedups (gate on the GEMM pair).
+    for &(label, blocked_id, reference_id) in PAIRS {
+        match (find(current, blocked_id), find(current, reference_id)) {
+            (Some(b), Some(r)) => {
+                let speedup = r.min_ns as f64 / b.min_ns.max(1) as f64;
+                if verbose {
+                    eprintln!(
+                        "bench-check: {label:<14} blocked {:>12} ns  reference {:>12} ns  speedup {speedup:.2}x",
+                        b.min_ns, r.min_ns
+                    );
+                }
+                if label.starts_with("gemm") && speedup < GEMM_SPEEDUP_FLOOR {
+                    failures.push(format!(
+                        "blocked GEMM speedup {speedup:.2}x is below the {GEMM_SPEEDUP_FLOOR}x floor at the calibration size"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "missing bench results for {label} ({blocked_id} / {reference_id})"
+            )),
+        }
+    }
+
+    // 2. Regression gate vs the recorded baseline (skipped when recording).
+    if let (Some(base), false) = (baseline, record) {
+        for cur in current {
+            let Some(prev) = find(base, &cur.id) else {
+                if verbose {
+                    eprintln!("bench-check: {} has no baseline entry (new bench)", cur.id);
+                }
+                continue;
+            };
+            let limit = prev.min_ns as f64 * REGRESSION_FACTOR;
+            if cur.min_ns as f64 > limit {
+                failures.push(format!(
+                    "{}: min {} ns regressed >{:.0}% over baseline {} ns",
+                    cur.id,
+                    cur.min_ns,
+                    (REGRESSION_FACTOR - 1.0) * 100.0,
+                    prev.min_ns
+                ));
+            } else if verbose {
+                eprintln!(
+                    "bench-check: {:<40} min {:>12} ns  baseline {:>12} ns  ok",
+                    cur.id, cur.min_ns, prev.min_ns
+                );
+            }
+        }
+    }
+
+    failures
+}
+
+/// Parses every line carrying an `"id"` key — both the shim's JSONL stream
+/// and the baseline file (one entry object per line) use the same shape.
+fn parse_entries(text: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = extract_str(line, "id") else {
+            continue;
+        };
+        let (Some(mean_ns), Some(min_ns)) =
+            (extract_u128(line, "mean_ns"), extract_u128(line, "min_ns"))
+        else {
+            continue;
+        };
+        let samples = extract_u128(line, "samples").unwrap_or(0) as u64;
+        out.push(Entry {
+            id,
+            mean_ns,
+            min_ns,
+            samples,
+        });
+    }
+    out
+}
+
+fn find<'a>(entries: &'a [Entry], id: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.id == id)
+}
+
+/// Extracts a `"key":"value"` string field from a single JSON line. Good
+/// enough for the shim's own output (ids never contain escaped quotes).
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts a `"key":number` field from a single JSON line.
+fn extract_u128(line: &str, key: &str) -> Option<u128> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Writes the baseline as a JSON array with one entry object per line, so
+/// the same line parser reads it back.
+fn write_baseline(path: &Path, entries: &[Entry]) -> Result<(), std::io::Error> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut text = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        text.push_str(&format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}{comma}\n",
+            e.id, e.mean_ns, e.min_ns, e.samples
+        ));
+    }
+    text.push_str("]\n");
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_shim_jsonl() {
+        let text = "{\"id\":\"kernels_gemm_blocked/256\",\"mean_ns\":1200,\"min_ns\":1000,\"samples\":10}\nnot json\n{\"id\":\"x\",\"mean_ns\":5,\"min_ns\":4,\"samples\":1}\n";
+        let entries = parse_entries(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "kernels_gemm_blocked/256");
+        assert_eq!(entries[0].min_ns, 1000);
+        assert_eq!(entries[1].samples, 1);
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let entries = vec![
+            Entry {
+                id: "a/1".to_string(),
+                mean_ns: 10,
+                min_ns: 9,
+                samples: 3,
+            },
+            Entry {
+                id: "b/2".to_string(),
+                mean_ns: 20,
+                min_ns: 18,
+                samples: 4,
+            },
+        ];
+        let dir = std::env::temp_dir().join(format!("bench-check-{}", std::process::id()));
+        let path = dir.join("BENCH_kernels.json");
+        write_baseline(&path, &entries)
+            .map_err(|e| e.to_string())
+            .ok();
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let _ = std::fs::remove_dir_all(&dir);
+        let back = parse_entries(&text);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].id, "b/2");
+        assert_eq!(back[1].min_ns, 18);
+    }
+
+    #[test]
+    fn extractors_reject_missing_keys() {
+        assert_eq!(extract_str("{\"a\":1}", "id"), None);
+        assert_eq!(extract_u128("{\"id\":\"x\"}", "min_ns"), None);
+    }
+
+    fn entry(id: &str, mean_ns: u128, min_ns: u128) -> Entry {
+        Entry {
+            id: id.to_string(),
+            mean_ns,
+            min_ns,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn merge_keeps_best_times_across_attempts() {
+        let mut merged = vec![entry("a", 120, 100), entry("b", 220, 200)];
+        merge_best(
+            &mut merged,
+            vec![entry("a", 90, 80), entry("b", 300, 260), entry("c", 50, 40)],
+        );
+        assert_eq!(merged.len(), 3);
+        let a = find(&merged, "a").map(|e| (e.mean_ns, e.min_ns, e.samples));
+        assert_eq!(a, Some((90, 80, 20)));
+        let b = find(&merged, "b").map(|e| e.min_ns);
+        assert_eq!(b, Some(200));
+        let c = find(&merged, "c").map(|e| e.min_ns);
+        assert_eq!(c, Some(40));
+    }
+
+    #[test]
+    fn timing_failures_retry_but_structural_ones_do_not() {
+        assert!(retryable(&[
+            "x: min 10 ns regressed >15% over baseline 8 ns".to_string()
+        ]));
+        assert!(retryable(&[
+            "blocked GEMM speedup 1.40x is below the 1.5x floor at the calibration size"
+                .to_string()
+        ]));
+        assert!(!retryable(&[
+            "missing bench results for gemm 256^3 (a / b)".to_string()
+        ]));
+        assert!(retryable(&[]));
+    }
+
+    #[test]
+    fn evaluate_flags_regressions_against_the_baseline() {
+        let current = vec![
+            entry("kernels_gemm_blocked/256", 120, 100),
+            entry("kernels_gemm_reference/256", 240, 200),
+            entry("kernels_syrk_blocked/40000x20", 120, 100),
+            entry("kernels_syrk_reference/40000x20", 150, 130),
+            entry("kernels_qr_blocked/4000x32", 120, 100),
+            entry("kernels_qr_unblocked/4000x32", 130, 110),
+        ];
+        // Same numbers as baseline: everything passes.
+        assert!(evaluate(&current, Some(&current), false, false).is_empty());
+        // One entry >15% slower than its baseline: exactly one failure.
+        let mut slow = current.clone();
+        if let Some(e) = slow
+            .iter_mut()
+            .find(|e| e.id == "kernels_qr_blocked/4000x32")
+        {
+            e.min_ns = 120;
+        }
+        let failures = evaluate(&slow, Some(&current), false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("kernels_qr_blocked/4000x32"));
+        // Recording skips the regression gate entirely.
+        assert!(evaluate(&slow, Some(&current), true, false).is_empty());
+        // A GEMM speedup below the floor fails even with no baseline.
+        let mut slow_gemm = current.clone();
+        if let Some(e) = slow_gemm
+            .iter_mut()
+            .find(|e| e.id == "kernels_gemm_blocked/256")
+        {
+            e.min_ns = 150;
+        }
+        let failures = evaluate(&slow_gemm, None, false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("below the 1.5x floor"));
+    }
+}

@@ -10,8 +10,15 @@
 //!    library code (panics in library paths must be structured, like the
 //!    diagnostics in `tt-comm`, or converted to `Result`s);
 //! 4. an audit that every crate root opts into `#![forbid(unsafe_code)]`.
+//!
+//! `cargo xtask bench-check` is the kernel performance gate (see
+//! [`bench_check`]): it runs the blocked-vs-reference benchmark pairs and
+//! fails on a missing speedup or a >15% regression against the recorded
+//! `results/BENCH_kernels.json` baseline.
 
 #![forbid(unsafe_code)]
+
+mod bench_check;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -54,6 +61,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("bench-check") => bench_check::bench_check(&repo_root(), &args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
             usage();
@@ -67,7 +75,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit");
+    eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint                   rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit\n  bench-check [--record] run kernels_* benches; gate blocked-GEMM speedup and >15% regressions vs results/BENCH_kernels.json");
 }
 
 fn lint() -> ExitCode {
