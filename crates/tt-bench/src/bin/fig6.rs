@@ -43,6 +43,7 @@ fn main() {
     for (panel, &tol) in tols.iter().enumerate() {
         println!(
             "--- panel ({}) epsilon = {tol:.0e} ---",
+            // analyze::allow(narrow_cast): panel indexes a 3-element tolerance table, so the ASCII label arithmetic cannot overflow
             (b'a' + panel as u8) as char
         );
         for method in [RoundingMethod::Qr, RoundingMethod::GramLrl] {

@@ -87,10 +87,11 @@ impl CommStats {
     pub fn modeled_time(&self, model: &CostModel, p: usize) -> f64 {
         let mut t = 0.0;
         for kind in KINDS {
-            let n = self.count(kind) as f64;
-            if n == 0.0 {
+            let count = self.count(kind);
+            if count == 0 {
                 continue;
             }
+            let n = count as f64;
             let avg_words = self.words(kind) as f64 / n;
             t += n * model.collective_time(kind, avg_words, p);
         }

@@ -117,6 +117,7 @@ impl Communicator for SelfComm {
         send.to_vec()
     }
     fn send(&self, to: usize, buf: &[f64]) {
+        // analyze::allow(panic_surface): single-rank backend — p2p here is a caller contract violation; the message documents the required size()==1 branch
         panic!(
             "SelfComm::send(to={to}, len={}): SelfComm has a single rank, so \
              point-to-point communication is always a caller bug. Algorithms \
@@ -127,6 +128,7 @@ impl Communicator for SelfComm {
         );
     }
     fn recv(&self, from: usize) -> Vec<f64> {
+        // analyze::allow(panic_surface): single-rank backend — p2p here is a caller contract violation; the message documents the required size()==1 branch
         panic!(
             "SelfComm::recv(from={from}): SelfComm has a single rank, so \
              point-to-point communication is always a caller bug. Algorithms \
@@ -210,6 +212,7 @@ impl Communicator for ModelComm {
             .record(CollectiveKind::PointToPoint, buf.len());
     }
     fn recv(&self, from: usize) -> Vec<f64> {
+        // analyze::allow(panic_surface): model backend cannot materialize peer data — recv is a documented contract violation, not a recoverable error
         panic!(
             "ModelComm::recv(from={from}): a performance-model backend plays \
              one representative rank and cannot materialize data another rank \

@@ -114,6 +114,7 @@ impl WatchdogBarrier {
         while guard.generation == gen_at_entry {
             let remaining = match timeout.checked_sub(start.elapsed()) {
                 Some(d) if !d.is_zero() => d,
+                // analyze::allow(panic_surface): watchdog abort — turning a silent deadlock into a loud diagnostic is this type's purpose
                 _ => panic!("{}", diag(start.elapsed())),
             };
             guard = match self.cv.wait_timeout(guard, remaining) {
@@ -244,6 +245,7 @@ impl ThreadComm {
 
     pub(crate) fn raw_send(&self, to: usize, buf: &[f64]) {
         if self.senders[to].send(buf.to_vec()).is_err() {
+            // analyze::allow(panic_surface): peer death mid-run is unrecoverable for a blocking transport; panic carries the per-rank event board
             panic!(
                 "ThreadComm rank {}: send(to={to}, len={}) failed: rank {to} has \
                  terminated (its endpoint was dropped). Per-rank last events:\n{}",
@@ -259,6 +261,7 @@ impl ThreadComm {
         loop {
             let remaining = match self.watchdog.checked_sub(start.elapsed()) {
                 Some(d) if !d.is_zero() => d,
+                // analyze::allow(panic_surface): watchdog abort — turning a silent deadlock into a loud diagnostic is this type's purpose
                 _ => panic!(
                     "ThreadComm watchdog: rank {} stuck in recv(from={from}) for \
                      {:?} (timeout {:?}). Per-rank last events:\n{}\n\
@@ -275,6 +278,7 @@ impl ThreadComm {
             match self.receivers[from].recv_timeout(remaining) {
                 Ok(msg) => return msg,
                 Err(RecvTimeoutError::Timeout) => continue,
+                // analyze::allow(panic_surface): peer death mid-run is unrecoverable for a blocking transport; panic carries the per-rank event board
                 Err(RecvTimeoutError::Disconnected) => panic!(
                     "ThreadComm rank {}: recv(from={from}) failed: rank {from} has \
                      terminated without sending (its endpoint was dropped). \
@@ -293,6 +297,7 @@ impl ThreadComm {
     fn raw_recv_expect(&self, from: usize, expected_len: usize, op: &str) -> Vec<f64> {
         let msg = self.raw_recv(from);
         if msg.len() != expected_len {
+            // analyze::allow(panic_surface): consuming a foreign message would silently corrupt the reduction; abort with the divergence report instead
             panic!(
                 "ThreadComm rank {}: {op} expected a {expected_len}-word message \
                  from rank {from} but received {} words — the ranks' collective \

@@ -337,6 +337,7 @@ impl<C: Communicator> VerifyComm<C> {
             }
         }
         if !mismatches.is_empty() {
+            // analyze::allow(panic_surface): the verifier's contract is to abort on the first divergent collective with a full fingerprint report
             panic!(
                 "VerifyComm rank {}: SPMD collective stream mismatch at this rank's \
                  operation #{}.\nThis rank called: {}\nDivergent fingerprint \
@@ -415,6 +416,7 @@ impl<C: Communicator> Communicator for VerifyComm<C> {
         }
         let framed = self.inner.recv(from);
         let fail = |why: String| -> ! {
+            // analyze::allow(panic_surface): the verifier's contract is to abort on the first mismatched p2p frame with a full event report
             panic!(
                 "VerifyComm rank {}: point-to-point mismatch at this rank's \
                  operation #{} ({ev}): {why}\nLast {} events per rank (oldest \
@@ -529,6 +531,7 @@ pub fn assert_streams_match(streams: &[Vec<Event>]) {
     };
     for (r, stream) in rest.iter().enumerate() {
         if stream.len() != first.len() {
+            // analyze::allow(panic_surface): post-run assertion helper — divergent recorded streams must fail the harness loudly
             panic!(
                 "recorded collective streams diverge: stream 0 has {} events, \
                  stream {} has {}",
@@ -541,6 +544,7 @@ pub fn assert_streams_match(streams: &[Vec<Event>]) {
             // Peer ranks legitimately differ across ranks (tree edges);
             // kind/root/len/seq must not.
             if a.seq != b.seq || a.kind != b.kind || a.root != b.root || a.len != b.len {
+                // analyze::allow(panic_surface): post-run assertion helper — divergent recorded streams must fail the harness loudly
                 panic!(
                     "recorded collective streams diverge at event {i}: stream 0 \
                      has {a}, stream {} has {b}",

@@ -86,6 +86,7 @@ pub fn gram_truncate(
 
     let eig_or_die = |side: &str, g: &Matrix| match eigh(g) {
         Ok(e) => e.descending(),
+        // analyze::allow(panic_surface): a Gram matrix is symmetric PSD by construction; EVD failure means memory corruption upstream and the message says how to chase it
         Err(e) => panic!(
             "gram_truncate bond {bond}: EVD of {side} failed ({e}). A Gram \
              matrix is symmetric PSD, so this indicates a corrupted buffer \

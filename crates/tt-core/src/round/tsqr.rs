@@ -119,7 +119,7 @@ fn tsqr_model(
 ) -> (Matrix, Matrix) {
     let n = a_local.cols();
     let p = comm.size();
-    let levels = (p as f64).log2().ceil() as usize;
+    let levels = p.next_power_of_two().trailing_zeros() as usize;
     let tri_words = n * (n + 1) / 2;
 
     let mut r_cur = r_local;

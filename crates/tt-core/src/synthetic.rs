@@ -52,6 +52,7 @@ impl ModelSpec {
                 d[0] = 10_000;
                 d
             }
+            // analyze::allow(panic_surface): constructor precondition on the paper's fixed model table; a Result would only move the abort to every caller
             _ => panic!("Table I defines models 1–4"),
         };
         ModelSpec {
@@ -69,6 +70,7 @@ impl ModelSpec {
         let dims = self
             .dims
             .iter()
+            // analyze::allow(narrow_cast): deliberate dimension scaling; factor is in (0, 1] so round() stays within usize and the .max(4) floor handles degenerate results
             .map(|&d| (((d as f64) * factor).round() as usize).max(4))
             .collect();
         ModelSpec {

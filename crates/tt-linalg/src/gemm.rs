@@ -271,6 +271,7 @@ fn verify_samples(
         let tol = (k as f64 + 8.0) * 8.0 * crate::EPS * scale;
         let got = c.as_ref().at(i, j);
         if (got - expect).abs() > tol {
+            // analyze::allow(panic_surface): paranoid-mode oracle check — a wrong kernel result must abort, continuing would corrupt every downstream factorization
             panic!(
                 "gemm: paranoid check failed: blocked kernel disagrees with the \
                  reference oracle at C[{i},{j}]: blocked {got} vs reference \
@@ -299,6 +300,7 @@ fn verify_syrk_samples(kernel: &str, c: &Matrix, entry: impl Fn(usize, usize) ->
         let tol = 1e-10 * (1.0 + expect.abs()) + 1e-12;
         let got = c[(i, j)];
         if (got - expect).abs() > tol {
+            // analyze::allow(panic_surface): paranoid-mode oracle check — a wrong kernel result must abort, continuing would corrupt every downstream factorization
             panic!(
                 "{kernel}: paranoid check failed: blocked kernel disagrees with \
                  the reference oracle at C[{i},{j}]: blocked {got} vs reference \

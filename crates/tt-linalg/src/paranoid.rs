@@ -30,6 +30,7 @@ pub fn check_finite(kernel: &str, operand: &str, data: &[f64]) {
     }
     for (i, &x) in data.iter().enumerate() {
         if !x.is_finite() {
+            // analyze::allow(panic_surface): the paranoid layer's whole job is to abort at the first non-finite value instead of letting NaN propagate
             panic!(
                 "{kernel}: paranoid check failed: non-finite value {x} at flat \
                  index {i} of operand {operand} (len {}) — the buffer was \
@@ -44,6 +45,7 @@ pub fn check_finite(kernel: &str, operand: &str, data: &[f64]) {
 #[inline]
 pub fn check_finite_scalar(kernel: &str, name: &str, value: f64) {
     if enabled() && !value.is_finite() {
+        // analyze::allow(panic_surface): the paranoid layer's whole job is to abort at the first non-finite value instead of letting NaN propagate
         panic!("{kernel}: paranoid check failed: parameter {name} = {value} is not finite");
     }
 }
@@ -52,6 +54,7 @@ pub fn check_finite_scalar(kernel: &str, name: &str, value: f64) {
 #[inline]
 pub fn check_dims(kernel: &str, ok: bool, detail: impl FnOnce() -> String) {
     if enabled() && !ok {
+        // analyze::allow(panic_surface): the paranoid layer's whole job is to abort on broken invariants instead of computing garbage
         panic!(
             "{kernel}: paranoid check failed: dimension invariant violated: {}",
             detail()

@@ -98,6 +98,7 @@ impl DistKroneckerOperator {
         }
         match acc {
             Some(sum) => sum,
+            // analyze::allow(panic_surface): construction invariant (an operator has ≥1 term); violation is a programming error at the build site, not runtime input
             None => panic!(
                 "distributed operator application: the operator has no terms; \
                  construct it with at least one mode factor"
@@ -156,6 +157,7 @@ impl DistMeanPreconditioner {
     /// Factors the (global) mean matrix; every rank holds the factor.
     pub fn new(mean_matrix: &tt_sparse::CsrMatrix) -> Self {
         let Some(factor) = BandedCholesky::factor(mean_matrix) else {
+            // analyze::allow(panic_surface): a stiffness matrix is SPD by construction; factorization failure means corrupted assembly, documented in the message
             panic!(
                 "DistMeanPreconditioner::new: the mean matrix is not \
                  numerically SPD; a stiffness matrix always is, so the \
@@ -245,6 +247,7 @@ pub fn dist_tt_gmres(
         for (i, vi) in basis.iter().enumerate() {
             let hij = inner(&w, vi);
             h[(i, j)] = hij;
+            // analyze::allow(float_cmp): skip-exact-zero fast path — any nonzero coefficient, however small, must still be applied and rounded
             if hij != 0.0 {
                 let mut scaled = vi.clone();
                 scaled.scale(-hij);
@@ -272,6 +275,7 @@ pub fn dist_tt_gmres(
             rounding_seconds: round_iter,
             total_seconds: t_iter.elapsed().as_secs_f64(),
         });
+        // analyze::allow(float_cmp): happy-breakdown test — only an exactly zero norm means the Krylov space is exhausted; a tolerance here would stop early
         if r / beta <= opts.tolerance || wnorm == 0.0 {
             converged = true;
             break;
@@ -288,6 +292,7 @@ pub fn dist_tt_gmres(
     let y = crate::gmres::ls_solve(&h, n_iters, beta);
     let mut w_sol: Option<TtTensor> = None;
     for (j, &yj) in y.iter().enumerate() {
+        // analyze::allow(float_cmp): skip-exact-zero fast path — omitting an exactly zero term is lossless, any tolerance would change the solution
         if yj == 0.0 {
             continue;
         }

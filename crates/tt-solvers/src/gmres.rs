@@ -207,6 +207,7 @@ pub fn tt_gmres(
         for (i, vi) in basis.iter().enumerate() {
             let hij = w.inner(vi);
             h[(i, j)] = hij;
+            // analyze::allow(float_cmp): skip-exact-zero fast path — any nonzero coefficient, however small, must still be applied and rounded
             if hij != 0.0 {
                 let mut scaled = vi.clone();
                 scaled.scale(-hij);
@@ -241,6 +242,7 @@ pub fn tt_gmres(
             total_seconds: t_iter.elapsed().as_secs_f64(),
         });
 
+        // analyze::allow(float_cmp): happy-breakdown test — only an exactly zero norm means the Krylov space is exhausted; a tolerance here would stop early
         if r / beta <= opts.tolerance || wnorm == 0.0 {
             converged = true;
             break;
@@ -261,6 +263,7 @@ pub fn tt_gmres(
     let y = ls_solve(&h, n_iters, beta);
     let mut w_sol: Option<TtTensor> = None;
     for (j, &yj) in y.iter().enumerate() {
+        // analyze::allow(float_cmp): skip-exact-zero fast path — omitting an exactly zero term is lossless, any tolerance would change the solution
         if yj == 0.0 {
             continue;
         }

@@ -24,6 +24,7 @@ impl CooBuilder {
     /// Adds `v` at `(i, j)` (accumulating with any existing entry there).
     pub fn add(&mut self, i: usize, j: usize, v: f64) {
         debug_assert!(i < self.rows && j < self.cols);
+        // analyze::allow(float_cmp): sparsity-pattern filter — only exactly zero values may be omitted from the assembled matrix
         if v != 0.0 {
             self.entries.push((i, j, v));
         }

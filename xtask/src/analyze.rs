@@ -1,0 +1,407 @@
+//! `cargo xtask analyze` — the SPMD collective-safety and numeric-discipline
+//! static analyzer (DESIGN.md §8).
+//!
+//! Runs every registered [`crate::passes::Pass`] over the non-test library
+//! sources (the same [`crate::LIBRARY_SRC_ROOTS`] trees the unwrap lint
+//! covers), applies per-pass path allowlists, and reconciles findings
+//! against in-source suppressions:
+//!
+//! ```text
+//! // analyze::allow(<pass>): <reason>
+//! ```
+//!
+//! A suppression written as a trailing comment applies to its own line; one
+//! on a line of its own applies to the next code line (so several can be
+//! stacked above one statement). The reason is mandatory — an accepted
+//! finding must be documented at the site — and the pass name must exist.
+//! Suppressions that match no diagnostic are themselves errors (on by
+//! default; nightly CI passes `--check-suppressions` explicitly, local
+//! triage can pass `--no-check-suppressions` while iterating), so stale
+//! annotations cannot accumulate.
+//!
+//! Exit code is non-zero on any unsuppressed diagnostic, malformed
+//! suppression, or (when checking) unused suppression. `--format json`
+//! emits the full report as a single JSON object on stdout for tooling.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crate::passes::{all_passes, Diagnostic, Pass};
+use crate::scanner::CodeModel;
+use crate::{collect_rs_files, LIBRARY_SRC_ROOTS};
+
+/// One parsed `// analyze::allow(<pass>): <reason>` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Pass the annotation silences.
+    pub pass: String,
+    /// Mandatory justification text.
+    pub reason: String,
+    /// Line the suppression applies to (its own line for trailing
+    /// comments, the next code line for standalone ones).
+    pub target_line: usize,
+    /// Line the comment itself sits on (for reporting).
+    pub comment_line: usize,
+}
+
+/// Full result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by any suppression.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of findings silenced by a suppression.
+    pub suppressed: usize,
+    /// Malformed suppression annotations (unknown pass, missing reason).
+    pub errors: Vec<String>,
+    /// Suppressions that silenced nothing, as `file:line: pass` strings.
+    pub unused: Vec<String>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    /// True when the gate should pass.
+    pub fn is_clean(&self, check_suppressions: bool) -> bool {
+        self.diagnostics.is_empty()
+            && self.errors.is_empty()
+            && (!check_suppressions || self.unused.is_empty())
+    }
+}
+
+/// CLI entry point for `cargo xtask analyze`.
+pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
+    let mut format_json = false;
+    let mut check_suppressions = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!(
+                        "analyze: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<nothing>")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format=json" => format_json = true,
+            "--format=text" => format_json = false,
+            "--check-suppressions" => check_suppressions = true,
+            "--no-check-suppressions" => check_suppressions = false,
+            "--list-passes" => {
+                for p in all_passes() {
+                    eprintln!("{:16} {}", p.name(), p.description());
+                    if !p.allowlist().is_empty() {
+                        eprintln!("{:16}   (not run on: {})", "", p.allowlist().join(", "));
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!(
+                    "analyze: unknown flag `{other}`\n\
+                     usage: cargo xtask analyze [--format text|json] \
+                     [--no-check-suppressions] [--check-suppressions] [--list-passes]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    for root in LIBRARY_SRC_ROOTS {
+        if let Err(e) = collect_rs_files(&repo.join(root), &mut files) {
+            eprintln!("analyze: could not walk {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    files.sort();
+
+    let report = match analyze_files(repo, &files) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if format_json {
+        // stdout on purpose (the one machine-readable surface); the clippy
+        // print_stdout deny is satisfied by writing the handle directly.
+        let mut stdout = std::io::stdout();
+        if writeln!(stdout, "{}", report_to_json(&report, check_suppressions)).is_err() {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for d in &report.diagnostics {
+            eprintln!("analyze: {}:{}: [{}] {}", d.file, d.line, d.pass, d.message);
+        }
+        for e in &report.errors {
+            eprintln!("analyze: {e}");
+        }
+        if check_suppressions {
+            for u in &report.unused {
+                eprintln!("analyze: {u}: suppression matches no diagnostic — remove it");
+            }
+        }
+        eprintln!(
+            "analyze: {} files, {} passes, {} diagnostics ({} suppressed), {} suppression errors{}",
+            report.files,
+            all_passes().len(),
+            report.diagnostics.len(),
+            report.suppressed,
+            report.errors.len(),
+            if check_suppressions {
+                format!(", {} unused suppressions", report.unused.len())
+            } else {
+                String::new()
+            },
+        );
+    }
+
+    if report.is_clean(check_suppressions) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs every pass over `files` (paths made repo-relative against `repo`
+/// for diagnostics and allowlist matching) and reconciles suppressions.
+/// This is the library surface the fixture tests drive directly.
+pub fn analyze_files(repo: &Path, files: &[PathBuf]) -> Result<Report, std::io::Error> {
+    let passes = all_passes();
+    let mut report = Report::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(repo)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        let model = CodeModel::build(&src);
+        let mut suppressions = parse_suppressions(&rel, &model, &passes, &mut report.errors);
+
+        let mut findings = Vec::new();
+        for pass in &passes {
+            if pass.allowlist().iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            pass.run(&rel, &model, &mut findings);
+        }
+        findings.sort_by(|a, b| (a.line, a.pass).cmp(&(b.line, b.pass)));
+
+        let mut used = vec![false; suppressions.len()];
+        for d in findings {
+            let hit = suppressions
+                .iter()
+                .position(|s| s.pass == d.pass && s.target_line == d.line);
+            match hit {
+                Some(k) => {
+                    used[k] = true;
+                    report.suppressed += 1;
+                }
+                None => report.diagnostics.push(d),
+            }
+        }
+        for (k, s) in suppressions.drain(..).enumerate() {
+            if !used[k] {
+                report.unused.push(format!(
+                    "{rel}:{}: analyze::allow({})",
+                    s.comment_line, s.pass
+                ));
+            }
+        }
+        report.files += 1;
+    }
+    Ok(report)
+}
+
+/// Extracts `analyze::allow` annotations from a file's comments, recording
+/// malformed ones (unknown pass, missing reason) into `errors`.
+fn parse_suppressions(
+    rel: &str,
+    model: &CodeModel,
+    passes: &[Box<dyn Pass>],
+    errors: &mut Vec<String>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &model.comments {
+        // Strip the comment markers; block comments may carry one
+        // annotation too (rare, but no reason to reject them).
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_end_matches('/')
+            .trim_end_matches('*')
+            .trim();
+        let Some(rest) = body.strip_prefix("analyze::allow") else {
+            continue;
+        };
+        let parsed = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .and_then(|(pass, tail)| {
+                let reason = tail.strip_prefix(':')?.trim();
+                if reason.is_empty() {
+                    None
+                } else {
+                    Some((pass.trim().to_string(), reason.to_string()))
+                }
+            });
+        let Some((pass, reason)) = parsed else {
+            errors.push(format!(
+                "{rel}:{}: malformed suppression `{body}` — expected \
+                 `analyze::allow(<pass>): <reason>` with a non-empty reason",
+                c.line
+            ));
+            continue;
+        };
+        if !passes.iter().any(|p| p.name() == pass) {
+            errors.push(format!(
+                "{rel}:{}: suppression names unknown pass `{pass}` (see --list-passes)",
+                c.line
+            ));
+            continue;
+        }
+        // Trailing comments (code earlier on the same line) suppress that
+        // line; standalone comments suppress the next code line.
+        // (`model.tokens` holds code tokens only, so a same-line hit means
+        // the comment trails code.)
+        let trailing = model.tokens.iter().any(|t| t.line == c.line);
+        let target_line = if trailing {
+            c.line
+        } else {
+            model
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .filter(|&l| l > c.line)
+                .min()
+                .unwrap_or(usize::MAX)
+        };
+        out.push(Suppression {
+            pass,
+            reason,
+            target_line,
+            comment_line: c.line,
+        });
+    }
+    out
+}
+
+/// Serializes the report as one JSON object (no serde in-tree; the escape
+/// set covers everything `Diagnostic` messages can contain).
+fn report_to_json(report: &Report, check_suppressions: bool) -> String {
+    let mut s = String::from("{\"diagnostics\":[");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"pass\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(d.pass),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message)
+        );
+    }
+    let _ = write!(s, "],\"suppressed\":{},\"errors\":[", report.suppressed);
+    for (i, e) in report.errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_str(e));
+    }
+    s.push_str("],\"unused_suppressions\":[");
+    for (i, u) in report.unused.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&json_str(u));
+    }
+    let _ = write!(
+        s,
+        "],\"files\":{},\"clean\":{}}}",
+        report.files,
+        report.is_clean(check_suppressions)
+    );
+    s
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suppressions_of(src: &str) -> (Vec<Suppression>, Vec<String>) {
+        let model = CodeModel::build(src);
+        let passes = all_passes();
+        let mut errors = Vec::new();
+        let sup = parse_suppressions("t.rs", &model, &passes, &mut errors);
+        (sup, errors)
+    }
+
+    #[test]
+    fn trailing_suppression_targets_its_own_line() {
+        let (sup, errors) =
+            suppressions_of("fn f() {\n    x.unwrap(); // analyze::allow(panic_surface): ok\n}\n");
+        assert!(errors.is_empty());
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].target_line, 2);
+        assert_eq!(sup[0].pass, "panic_surface");
+        assert_eq!(sup[0].reason, "ok");
+    }
+
+    #[test]
+    fn standalone_suppression_targets_next_code_line() {
+        let (sup, errors) = suppressions_of(
+            "fn f() {\n    // analyze::allow(float_cmp): exact sentinel\n\n    if x == 0.0 {}\n}\n",
+        );
+        assert!(errors.is_empty());
+        assert_eq!(sup.len(), 1);
+        assert_eq!(sup[0].target_line, 4);
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_pass_are_errors() {
+        let (sup, errors) = suppressions_of(
+            "// analyze::allow(panic_surface):\nfn a() {}\n// analyze::allow(bogus): reason\nfn b() {}\n",
+        );
+        assert!(sup.is_empty());
+        assert_eq!(errors.len(), 2);
+        assert!(errors[0].contains("malformed"));
+        assert!(errors[1].contains("unknown pass"));
+    }
+
+    #[test]
+    fn json_escaping_is_valid() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

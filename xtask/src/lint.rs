@@ -1,0 +1,184 @@
+//! `cargo xtask lint` — the repo's fast static gate (DESIGN.md §7):
+//!
+//! 1. `cargo fmt --all -- --check` — formatting drift fails the build;
+//! 2. `cargo clippy --workspace --all-targets` with a curated deny-list;
+//! 3. a custom source lint forbidding `.unwrap()` / `.expect(` in non-test
+//!    library code, built on the shared [`crate::scanner`] (so multi-line
+//!    `/* */` comments and raw strings are classified correctly, which the
+//!    original per-line sanitizer got wrong);
+//! 4. an audit that every crate root opts into `#![forbid(unsafe_code)]`.
+//!
+//! The deeper SPMD/numeric heuristics live in `cargo xtask analyze`
+//! ([`crate::analyze`]); `lint` stays the quick always-on gate.
+
+use std::path::Path;
+use std::process::{Command, ExitCode};
+
+use crate::passes::is_unwrap_call;
+use crate::scanner::CodeModel;
+use crate::{collect_rs_files, crate_roots, LIBRARY_SRC_ROOTS};
+
+/// Clippy lints promoted to errors. Curated rather than `-D warnings` so a
+/// new toolchain's fresh lints do not brick the gate; extend deliberately.
+const CLIPPY_DENY: &[&str] = &[
+    "warnings",
+    "clippy::dbg_macro",
+    "clippy::todo",
+    "clippy::unimplemented",
+    "clippy::print_stdout",
+];
+
+/// CLI entry point for `cargo xtask lint`.
+pub fn lint(repo: &Path) -> ExitCode {
+    let mut failures: Vec<String> = Vec::new();
+
+    run_step(
+        &mut failures,
+        "rustfmt",
+        Command::new("cargo").args(["fmt", "--all", "--", "--check"]),
+    );
+
+    let mut clippy = Command::new("cargo");
+    clippy.args(["clippy", "--workspace", "--all-targets", "--quiet", "--"]);
+    for lint in CLIPPY_DENY {
+        clippy.arg("-D").arg(lint);
+    }
+    // Targets whose job is user-facing stdout (tt-bench bins, examples, the
+    // criterion shim) carry `#![allow(clippy::print_stdout)]` inline; the
+    // deny stays meaningful for every library crate.
+    run_step(&mut failures, "clippy", &mut clippy);
+
+    match unwrap_lint(repo) {
+        Ok(0) => eprintln!("lint: unwrap/expect source lint .......... ok"),
+        Ok(n) => failures.push(format!(
+            "{n} unwrap()/expect() uses in non-test library code"
+        )),
+        Err(e) => failures.push(format!("unwrap/expect lint could not run: {e}")),
+    }
+
+    match unsafe_audit(repo) {
+        Ok(()) => eprintln!("lint: forbid(unsafe_code) audit ......... ok"),
+        Err(missing) => failures.push(format!(
+            "crate roots missing #![forbid(unsafe_code)]: {}",
+            missing.join(", ")
+        )),
+    }
+
+    if failures.is_empty() {
+        eprintln!("lint: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("lint FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_step(failures: &mut Vec<String>, name: &str, cmd: &mut Command) {
+    match cmd.status() {
+        Ok(status) if status.success() => {
+            eprintln!(
+                "lint: {name} {} ok",
+                ".".repeat(38usize.saturating_sub(name.len()))
+            );
+        }
+        Ok(status) => failures.push(format!("{name} failed with {status}")),
+        Err(e) => failures.push(format!("{name} could not run: {e}")),
+    }
+}
+
+/// Scans non-test library sources for `.unwrap()` / `.expect(` via the
+/// shared token scanner. Returns the violation count.
+fn unwrap_lint(repo: &Path) -> Result<usize, std::io::Error> {
+    let mut files = Vec::new();
+    for root in LIBRARY_SRC_ROOTS {
+        collect_rs_files(&repo.join(root), &mut files)?;
+    }
+    files.sort();
+    let mut violations = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(&file)?;
+        for line in unwrap_findings(&text) {
+            violations += 1;
+            eprintln!(
+                "lint: {}:{}: unwrap()/expect() in non-test library code",
+                file.strip_prefix(repo).unwrap_or(&file).display(),
+                line,
+            );
+        }
+    }
+    Ok(violations)
+}
+
+/// Lines (1-based) of `.unwrap()` / `.expect(` calls outside `#[cfg(test)]`
+/// regions.
+pub fn unwrap_findings(src: &str) -> Vec<usize> {
+    let model = CodeModel::build(src);
+    let mut out = Vec::new();
+    for i in 0..model.tokens.len() {
+        if model.in_test[i] {
+            continue;
+        }
+        if is_unwrap_call(&model, i) {
+            out.push(model.tokens[i].line);
+        }
+    }
+    out
+}
+
+fn unsafe_audit(repo: &Path) -> Result<(), Vec<String>> {
+    let mut missing = Vec::new();
+    for root in crate_roots(repo) {
+        let ok = std::fs::read_to_string(&root)
+            .map(|text| text.contains("#![forbid(unsafe_code)]"))
+            .unwrap_or(false);
+        if !ok {
+            missing.push(
+                root.strip_prefix(repo)
+                    .unwrap_or(&root)
+                    .display()
+                    .to_string(),
+            );
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_library_code_and_skips_tests() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() { z.expect(\"m\"); }\n";
+        assert_eq!(unwrap_findings(src), vec![1, 6]);
+    }
+
+    #[test]
+    fn multi_line_block_comments_do_not_fire() {
+        // The old per-line sanitizer only understood `//`: a block comment
+        // spanning lines left `.unwrap()` visible and tripped the lint.
+        let src = "/* a block comment\n   mentioning x.unwrap() inside\n */\nfn a() {}\n";
+        assert_eq!(unwrap_findings(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn raw_strings_do_not_fire() {
+        // Likewise `r#"..."#` bodies (the old sanitizer had no raw-string
+        // handling at all).
+        let src = "fn a() -> &'static str {\n    r#\"say .unwrap() with \"quotes\"\"#\n}\n";
+        assert_eq!(unwrap_findings(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn multi_line_string_then_code_still_fires() {
+        let src =
+            "const S: &str = \"line one\n.unwrap() in a string\n\";\nfn a() { q.unwrap(); }\n";
+        assert_eq!(unwrap_findings(src), vec![4]);
+    }
+}

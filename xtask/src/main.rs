@@ -1,66 +1,18 @@
-//! Workspace automation (the cargo `xtask` pattern: a plain binary crate
-//! invoked through the `.cargo/config.toml` alias, so the whole toolchain
-//! needs nothing but `cargo` itself).
-//!
-//! `cargo xtask lint` is the repo's static-analysis gate (DESIGN.md §7):
-//!
-//! 1. `cargo fmt --all -- --check` — formatting drift fails the build;
-//! 2. `cargo clippy --workspace --all-targets` with a curated deny-list;
-//! 3. a custom source lint forbidding `.unwrap()` / `.expect(` in non-test
-//!    library code (panics in library paths must be structured, like the
-//!    diagnostics in `tt-comm`, or converted to `Result`s);
-//! 4. an audit that every crate root opts into `#![forbid(unsafe_code)]`.
-//!
-//! `cargo xtask bench-check` is the kernel performance gate (see
-//! [`bench_check`]): it runs the blocked-vs-reference benchmark pairs and
-//! fails on a missing speedup or a >15% regression against the recorded
-//! `results/BENCH_kernels.json` baseline.
+//! Thin CLI over the [`xtask`] library: parses the task name and
+//! dispatches. All logic lives in the library so the integration tests
+//! under `xtask/tests/` can drive it directly.
 
 #![forbid(unsafe_code)]
 
-mod bench_check;
+use std::process::ExitCode;
 
-use std::path::{Path, PathBuf};
-use std::process::{Command, ExitCode};
-
-/// Clippy lints promoted to errors. Curated rather than `-D warnings` so a
-/// new toolchain's fresh lints do not brick the gate; extend deliberately.
-const CLIPPY_DENY: &[&str] = &[
-    "warnings",
-    "clippy::dbg_macro",
-    "clippy::todo",
-    "clippy::unimplemented",
-    "clippy::print_stdout",
-];
-
-/// Directories holding non-test library sources, relative to the repo root.
-/// `tests/`, `benches/`, and `examples/` trees are exempt from the
-/// unwrap/expect lint; `#[cfg(test)]` modules inside these sources are
-/// skipped by region tracking.
-const LIBRARY_SRC_ROOTS: &[&str] = &["crates", "src", "vendor", "xtask/src"];
-
-/// Every crate root that must carry `#![forbid(unsafe_code)]`.
-fn crate_roots(repo: &Path) -> Vec<PathBuf> {
-    let mut roots = vec![repo.join("src/lib.rs"), repo.join("xtask/src/main.rs")];
-    for dir in ["crates", "vendor"] {
-        let Ok(entries) = std::fs::read_dir(repo.join(dir)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
-            }
-        }
-    }
-    roots.sort();
-    roots
-}
+use xtask::{analyze, bench_check, lint, repo_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint::lint(&repo_root()),
+        Some("analyze") => analyze::analyze(&repo_root(), &args[1..]),
         Some("bench-check") => bench_check::bench_check(&repo_root(), &args[1..]),
         Some(other) => {
             eprintln!("unknown xtask `{other}`\n");
@@ -75,248 +27,11 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint                   rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit\n  bench-check [--record] run kernels_* benches; gate blocked-GEMM speedup and >15% regressions vs results/BENCH_kernels.json");
-}
-
-fn lint() -> ExitCode {
-    let repo = repo_root();
-    let mut failures: Vec<String> = Vec::new();
-
-    run_step(
-        &mut failures,
-        "rustfmt",
-        Command::new("cargo").args(["fmt", "--all", "--", "--check"]),
+    eprintln!(
+        "usage: cargo xtask <task>\n\ntasks:\n  \
+         lint                   rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit\n  \
+         analyze [flags]        SPMD collective-safety + numeric-discipline passes over library sources\n                         \
+         (--format text|json, --list-passes, --no-check-suppressions; suppress with `// analyze::allow(<pass>): reason`)\n  \
+         bench-check [--record] run kernels_* benches; gate blocked-GEMM speedup and >15% regressions vs results/BENCH_kernels.json"
     );
-
-    let mut clippy = Command::new("cargo");
-    clippy.args(["clippy", "--workspace", "--all-targets", "--quiet", "--"]);
-    for lint in CLIPPY_DENY {
-        clippy.arg("-D").arg(lint);
-    }
-    // Targets whose job is user-facing stdout (tt-bench bins, examples, the
-    // criterion shim) carry `#![allow(clippy::print_stdout)]` inline; the
-    // deny stays meaningful for every library crate.
-    run_step(&mut failures, "clippy", &mut clippy);
-
-    match unwrap_lint(&repo) {
-        Ok(0) => eprintln!("lint: unwrap/expect source lint .......... ok"),
-        Ok(n) => failures.push(format!(
-            "{n} unwrap()/expect() uses in non-test library code"
-        )),
-        Err(e) => failures.push(format!("unwrap/expect lint could not run: {e}")),
-    }
-
-    match unsafe_audit(&repo) {
-        Ok(()) => eprintln!("lint: forbid(unsafe_code) audit ......... ok"),
-        Err(missing) => failures.push(format!(
-            "crate roots missing #![forbid(unsafe_code)]: {}",
-            missing.join(", ")
-        )),
-    }
-
-    if failures.is_empty() {
-        eprintln!("lint: all checks passed");
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("lint FAILURE: {f}");
-        }
-        ExitCode::FAILURE
-    }
-}
-
-fn run_step(failures: &mut Vec<String>, name: &str, cmd: &mut Command) {
-    match cmd.status() {
-        Ok(status) if status.success() => {
-            eprintln!(
-                "lint: {name} {} ok",
-                ".".repeat(38usize.saturating_sub(name.len()))
-            );
-        }
-        Ok(status) => failures.push(format!("{name} failed with {status}")),
-        Err(e) => failures.push(format!("{name} could not run: {e}")),
-    }
-}
-
-fn repo_root() -> PathBuf {
-    // xtask always runs via `cargo xtask`, which sets the manifest dir to
-    // <repo>/xtask.
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string());
-    let path = PathBuf::from(&manifest);
-    path.parent().map(Path::to_path_buf).unwrap_or(path)
-}
-
-/// Scans non-test library sources for `.unwrap()` / `.expect(`, skipping
-/// `#[cfg(test)]` regions by brace tracking. Returns the violation count.
-fn unwrap_lint(repo: &Path) -> Result<usize, std::io::Error> {
-    let mut files = Vec::new();
-    for root in LIBRARY_SRC_ROOTS {
-        collect_rs_files(&repo.join(root), &mut files)?;
-    }
-    files.sort();
-    let mut violations = 0usize;
-    for file in files {
-        let text = std::fs::read_to_string(&file)?;
-        for (lineno, line) in non_test_lines(&text) {
-            let code = strip_comments_and_strings(line);
-            if code.contains(".unwrap()") || code.contains(".expect(") {
-                violations += 1;
-                eprintln!(
-                    "lint: {}:{}: unwrap()/expect() in non-test library code: {}",
-                    file.strip_prefix(repo).unwrap_or(&file).display(),
-                    lineno,
-                    line.trim()
-                );
-            }
-        }
-    }
-    Ok(violations)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), std::io::Error> {
-    if !dir.exists() {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            // Test-only trees are exempt from the library lint.
-            if matches!(name.as_ref(), "tests" | "benches" | "examples" | "target") {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Yields `(line_number, line)` for lines outside `#[cfg(test)]`-gated item
-/// regions. The region tracker is a brace-depth heuristic: after a
-/// `#[cfg(test)]` attribute, everything up to the close of the next
-/// brace-delimited item is considered test code. That matches the
-/// `#[cfg(test)] mod tests { ... }` idiom used throughout this workspace.
-fn non_test_lines(text: &str) -> Vec<(usize, &str)> {
-    let mut out = Vec::new();
-    let mut in_test_region = false;
-    let mut pending_test_attr = false;
-    let mut depth = 0i64;
-    for (i, line) in text.lines().enumerate() {
-        let code = strip_comments_and_strings(line);
-        if !in_test_region && code.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-            continue;
-        }
-        if pending_test_attr {
-            // The attribute applies to the next item; start region tracking
-            // at its first open brace (or end it immediately for `;` items).
-            let opens = code.matches('{').count() as i64;
-            let closes = code.matches('}').count() as i64;
-            if opens > 0 {
-                in_test_region = true;
-                pending_test_attr = false;
-                depth = opens - closes;
-                if depth <= 0 {
-                    in_test_region = false;
-                }
-            } else if code.contains(';') {
-                pending_test_attr = false;
-            }
-            continue;
-        }
-        if in_test_region {
-            depth += code.matches('{').count() as i64;
-            depth -= code.matches('}').count() as i64;
-            if depth <= 0 {
-                in_test_region = false;
-            }
-            continue;
-        }
-        out.push((i + 1, line));
-    }
-    out
-}
-
-/// Crude single-line sanitizer: drops `// ...` comments and the contents of
-/// string literals so the lint does not fire on prose.
-fn strip_comments_and_strings(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut prev = '\0';
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '"' && prev != '\\' {
-                in_str = false;
-                out.push('"');
-            }
-            prev = if prev == '\\' && c == '\\' { '\0' } else { c };
-            continue;
-        }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            _ => out.push(c),
-        }
-        prev = c;
-    }
-    out
-}
-
-fn unsafe_audit(repo: &Path) -> Result<(), Vec<String>> {
-    let mut missing = Vec::new();
-    for root in crate_roots(repo) {
-        let ok = std::fs::read_to_string(&root)
-            .map(|text| text.contains("#![forbid(unsafe_code)]"))
-            .unwrap_or(false);
-        if !ok {
-            missing.push(
-                root.strip_prefix(repo)
-                    .unwrap_or(&root)
-                    .display()
-                    .to_string(),
-            );
-        }
-    }
-    if missing.is_empty() {
-        Ok(())
-    } else {
-        Err(missing)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn test_regions_are_skipped() {
-        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
-        let lines = non_test_lines(src);
-        let nums: Vec<usize> = lines.iter().map(|(n, _)| *n).collect();
-        assert_eq!(nums, vec![1, 6]);
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_trip_the_lint() {
-        assert!(
-            !strip_comments_and_strings("let s = \"call .unwrap() here\";").contains(".unwrap()")
-        );
-        assert!(!strip_comments_and_strings("// .unwrap() in a comment").contains(".unwrap()"));
-        assert!(strip_comments_and_strings("x.unwrap(); // fine").contains(".unwrap()"));
-    }
-
-    #[test]
-    fn cfg_test_on_single_item_ends_region() {
-        let src = "#[cfg(test)]\nfn helper() {\n    z.unwrap();\n}\nfn real() {}\n";
-        let nums: Vec<usize> = non_test_lines(src).iter().map(|(n, _)| *n).collect();
-        assert_eq!(nums, vec![5]);
-    }
 }

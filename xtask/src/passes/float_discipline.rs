@@ -1,0 +1,224 @@
+//! Passes `float_cmp` and `narrow_cast`: numeric-discipline rules.
+//!
+//! Together these are the "float discipline" analysis: the bug classes that
+//! corrupt a Gram-SVD rounding run *numerically* rather than structurally.
+//!
+//! * `float_cmp` flags `==`/`!=` where an operand is lexically
+//!   floating-point (a float literal or an `f64` constant like `NAN`).
+//!   Exact float equality is occasionally correct (skip-zero fast paths,
+//!   breakdown detection) — those sites carry a justified suppression. The
+//!   `crates/tt-linalg` kernels are allowlisted wholesale: LAPACK-style
+//!   code compares against exact zero *semantically* (Householder `tau`,
+//!   `beta == 0` dispatch in GEMM), and the conformance suite plus the
+//!   `paranoid` runtime checks already gate that crate's numerics.
+//! * `narrow_cast` flags `as` casts that silently drop information: any
+//!   cast to a sub-64-bit integer (`usize as i32` truncates on every
+//!   64-bit target), `f32` (halves the mantissa), and float-to-integer
+//!   casts recognizable lexically (a float literal or a float-producing
+//!   method chain like `.ceil()`/`.round()` feeding `as usize`), which
+//!   truncate toward zero and saturate silently. `vendor/` is allowlisted:
+//!   the shims mirror external crate APIs (e.g. `rand`'s `next_u64() >> 32
+//!   as u32`) whose casts are deliberate bit manipulation.
+//!
+//! Both rules are lexical: a comparison of two float *variables* is
+//! invisible to them (no type inference). The `paranoid` feature's runtime
+//! finite-value checks are the backstop for what the heuristic cannot see.
+
+use super::{Diagnostic, Pass};
+use crate::scanner::{CodeModel, TokenKind};
+
+/// Float-valued constant identifiers treated as float evidence.
+const FLOAT_CONSTS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"];
+
+/// Methods that (on this workspace's `f64`-only numerics) produce floats;
+/// a call chain ending in one of these feeding `as <int>` is a
+/// float-to-integer truncation.
+const FLOAT_METHODS: &[&str] = &[
+    "ceil",
+    "floor",
+    "round",
+    "trunc",
+    "sqrt",
+    "cbrt",
+    "ln",
+    "log2",
+    "log10",
+    "exp",
+    "exp2",
+    "powf",
+    "powi",
+    "recip",
+    "hypot",
+    "to_radians",
+    "to_degrees",
+];
+
+/// Integer targets narrower than the workspace's native 64-bit widths.
+const NARROW_INT_TARGETS: &[&str] = &["i8", "i16", "i32", "u8", "u16", "u32"];
+
+/// 64-bit-or-wider integer targets (flagged only for float sources).
+const WIDE_INT_TARGETS: &[&str] = &["usize", "isize", "u64", "i64", "u128", "i128"];
+
+/// See the module docs.
+pub struct FloatCmp;
+
+impl Pass for FloatCmp {
+    fn name(&self) -> &'static str {
+        "float_cmp"
+    }
+
+    fn description(&self) -> &'static str {
+        "`==`/`!=` against floating-point literals or constants (use explicit tolerances)"
+    }
+
+    fn allowlist(&self) -> &'static [&'static str] {
+        // LAPACK-style kernels compare against exact zero semantically;
+        // vendored shims mirror external crate APIs.
+        &["crates/tt-linalg", "vendor"]
+    }
+
+    fn run(&self, file: &str, model: &CodeModel, out: &mut Vec<Diagnostic>) {
+        let toks = &model.tokens;
+        for i in 0..toks.len() {
+            if model.in_test[i] {
+                continue;
+            }
+            let op = &toks[i];
+            if !(op.is_punct("==") || op.is_punct("!=")) {
+                continue;
+            }
+            let prev_is_float = i > 0 && is_float_evidence(model, i - 1);
+            // Skip a unary minus on the right operand.
+            let mut r = i + 1;
+            if toks.get(r).is_some_and(|t| t.is_punct("-")) {
+                r += 1;
+            }
+            let next_is_float = r < toks.len() && is_float_evidence(model, r);
+            if prev_is_float || next_is_float {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: op.line,
+                    message: format!(
+                        "floating-point `{}` comparison: prefer an explicit tolerance \
+                         (`(a - b).abs() <= tol`) or suppress with the reason exact equality \
+                         is semantically required",
+                        op.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True if token `i` is lexically float-valued: a float literal or a float
+/// constant ident (`f64::NAN`, ...).
+fn is_float_evidence(model: &CodeModel, i: usize) -> bool {
+    let t = &model.tokens[i];
+    match t.kind {
+        TokenKind::Num { float } => float,
+        TokenKind::Ident => FLOAT_CONSTS.contains(&t.text.as_str()),
+        _ => false,
+    }
+}
+
+/// See the module docs.
+pub struct NarrowCast;
+
+impl Pass for NarrowCast {
+    fn name(&self) -> &'static str {
+        "narrow_cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "narrowing `as` casts: sub-64-bit integer targets, `f32`, and float-to-integer \
+         truncations"
+    }
+
+    fn allowlist(&self) -> &'static [&'static str] {
+        &["vendor"]
+    }
+
+    fn run(&self, file: &str, model: &CodeModel, out: &mut Vec<Diagnostic>) {
+        let toks = &model.tokens;
+        for i in 0..toks.len() {
+            if model.in_test[i] || !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if target.kind != TokenKind::Ident {
+                continue;
+            }
+            let t = target.text.as_str();
+            if NARROW_INT_TARGETS.contains(&t) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`as {t}` narrows on 64-bit targets and wraps silently: use `TryFrom` \
+                         (with a structured error) or keep the wider type"
+                    ),
+                });
+            } else if t == "f32" {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    message: "`as f32` halves the mantissa: this workspace's numerics are f64 \
+                              end-to-end — keep f64 or justify the precision loss"
+                        .to_string(),
+                });
+            } else if WIDE_INT_TARGETS.contains(&t) && i > 0 && float_source(model, i - 1) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "float-to-integer `as {t}` truncates toward zero and saturates \
+                         silently: make the rounding explicit and convert checked, or \
+                         restructure in integer arithmetic"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True if the expression ending at token `i` is lexically float-valued: a
+/// float literal, a float type name (cast chain `x as f64 as usize`), or a
+/// `)` closing a call of a float-producing method (`(...).ceil() as usize`).
+fn float_source(model: &CodeModel, i: usize) -> bool {
+    let t = &model.tokens[i];
+    match t.kind {
+        TokenKind::Num { float } => float,
+        TokenKind::Ident => t.text == "f64" || t.text == "f32",
+        TokenKind::Punct if t.text == ")" => {
+            // Walk back to the matching `(`; the ident before it is the
+            // called method.
+            let mut d = 0i64;
+            let mut j = i;
+            loop {
+                let u = &model.tokens[j];
+                if u.is_punct(")") {
+                    d += 1;
+                } else if u.is_punct("(") {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            j > 0
+                && model.tokens[j - 1].kind == TokenKind::Ident
+                && FLOAT_METHODS.contains(&model.tokens[j - 1].text.as_str())
+        }
+        _ => false,
+    }
+}

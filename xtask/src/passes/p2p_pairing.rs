@@ -1,0 +1,107 @@
+//! Pass `p2p_pairing`: unpaired or deadlock-shaped blocking point-to-point.
+//!
+//! The `Communicator` `send`/`recv` primitives are blocking (as in the MPI
+//! runs the paper reports). Two lexical shapes reliably indicate a bug in
+//! SPMD code:
+//!
+//! 1. a function issuing `send` with no `recv` anywhere in its body (or
+//!    vice versa) — with every rank running the same function, the matching
+//!    operation can never be posted by a peer *in that function*, so the
+//!    pairing lives somewhere else and must at minimum be documented;
+//! 2. a rank-symmetric `recv` before any `send`: if the first
+//!    point-to-point operation every rank reaches is an unguarded `recv`,
+//!    all ranks block waiting for a message none of them has sent yet.
+//!
+//! Rank-guarded receives (inside `if rank ... {}` or its `else` branches,
+//! like the TSQR combine tree's upsweep) are the legitimate pattern and are
+//! not flagged. Functions whose own name contains `send`/`recv`
+//! (communicator backends, decorators, mailbox helpers) are exempt — they
+//! *implement* the primitive rather than use it.
+
+use super::{is_method_call, rank_conditional_mask, Diagnostic, Pass};
+use crate::scanner::CodeModel;
+
+/// See the module docs.
+pub struct P2pPairing;
+
+impl Pass for P2pPairing {
+    fn name(&self) -> &'static str {
+        "p2p_pairing"
+    }
+
+    fn description(&self) -> &'static str {
+        "blocking send/recv without a counterpart in the same function, or recv-before-send \
+         orderings that deadlock rank-symmetric code"
+    }
+
+    fn run(&self, file: &str, model: &CodeModel, out: &mut Vec<Diagnostic>) {
+        let mask = rank_conditional_mask(model);
+        for f in &model.fns {
+            let Some((body_start, body_end)) = f.body else {
+                continue;
+            };
+            if f.name.contains("send") || f.name.contains("recv") {
+                continue;
+            }
+            if model.in_test.get(f.fn_idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut sends: Vec<usize> = Vec::new();
+            let mut recvs: Vec<usize> = Vec::new();
+            for i in body_start..=body_end.min(model.tokens.len() - 1) {
+                if model.in_test[i] {
+                    continue;
+                }
+                // Only direct calls in this fn's innermost body (skip
+                // nested fns, which get their own row).
+                if model.enclosing_fn(i).map(|g| g.fn_idx) != Some(f.fn_idx) {
+                    continue;
+                }
+                if is_method_call(model, i, "send") {
+                    sends.push(i);
+                } else if is_method_call(model, i, "recv") {
+                    recvs.push(i);
+                }
+            }
+            if sends.is_empty() && recvs.is_empty() {
+                continue;
+            }
+            if sends.is_empty() != recvs.is_empty() {
+                let (what, missing, site) = if sends.is_empty() {
+                    ("recv", "send", recvs[0])
+                } else {
+                    ("send", "recv", sends[0])
+                };
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: model.tokens[site].line,
+                    message: format!(
+                        "fn `{}` calls blocking `{what}` but never `{missing}`: in SPMD code the \
+                         counterpart cannot be posted by a peer running the same function — pair \
+                         them or document the cross-function pairing",
+                        f.name
+                    ),
+                });
+                continue;
+            }
+            // Both present: flag an unguarded recv that precedes every send.
+            let first_send = sends[0];
+            if let Some(&r) = recvs.iter().find(|&&r| !mask[r]) {
+                if r < first_send {
+                    out.push(Diagnostic {
+                        pass: self.name(),
+                        file: file.to_string(),
+                        line: model.tokens[r].line,
+                        message: format!(
+                            "fn `{}` blocks in an unconditional `recv` before any `send`: every \
+                             rank reaches the recv first and no message is in flight (deadlock); \
+                             guard the recv by rank or reorder the exchange",
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Pass `panic_surface`: panicking constructs in library code.
+//!
+//! A panic on one rank of an SPMD job is worse than a panic in serial code:
+//! the other ranks keep running and block forever in the next collective,
+//! turning a crash into a hang (the watchdog in `ThreadComm` exists for
+//! exactly this). Library code should therefore return `Result` for
+//! recoverable conditions and reserve panics for documented contract
+//! violations — each of which carries a suppression explaining the
+//! invariant.
+//!
+//! Flagged: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+//! `unimplemented!`. Deliberately not flagged: `unreachable!` (an
+//! explicitly-marked impossible branch) and `assert!`/`assert_eq!`/
+//! `debug_assert!` (contract checks are the *point* of the paranoid
+//! verification layer). Test code is always exempt.
+
+use super::{is_unwrap_call, Diagnostic, Pass};
+use crate::scanner::CodeModel;
+
+/// Macros that abort the current rank.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// See the module docs.
+pub struct PanicSurface;
+
+impl Pass for PanicSurface {
+    fn name(&self) -> &'static str {
+        "panic_surface"
+    }
+
+    fn description(&self) -> &'static str {
+        "`.unwrap()`/`.expect()` and `panic!`/`todo!`/`unimplemented!` in library code \
+         (one rank panicking hangs the others)"
+    }
+
+    fn run(&self, file: &str, model: &CodeModel, out: &mut Vec<Diagnostic>) {
+        let toks = &model.tokens;
+        for i in 0..toks.len() {
+            if model.in_test[i] {
+                continue;
+            }
+            if is_unwrap_call(model, i) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`.{}()` in library code: return a `Result`, or suppress stating the \
+                         invariant that makes failure impossible",
+                        toks[i].text
+                    ),
+                });
+                continue;
+            }
+            if PANIC_MACROS.iter().any(|m| toks[i].is_ident(m))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`{}!` in library code: one rank panicking leaves the others blocked in \
+                         the next collective — return an error, or suppress stating the contract \
+                         this enforces",
+                        toks[i].text
+                    ),
+                });
+            }
+        }
+    }
+}

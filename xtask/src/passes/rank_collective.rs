@@ -1,0 +1,107 @@
+//! Pass `rank_collective`: collectives guarded by rank-dependent control
+//! flow.
+//!
+//! Every distributed algorithm in this workspace is SPMD against
+//! `tt_comm::Communicator`: all ranks must execute an *identical sequence*
+//! of collectives. The fastest way to break that during a refactor is to
+//! move an `allreduce`/`broadcast` into an `if rank == 0 { ... }` block (or
+//! behind a rank-guarded early `return`) — every rank but one then skips
+//! the collective, and the job deadlocks or silently corrupts data. The
+//! runtime counterpart, `tt_comm::verify::VerifyComm`, catches this only on
+//! schedules a test happens to execute; this pass flags the shape at lint
+//! time, before any rank runs.
+//!
+//! Heuristic: a method call to one of the `Communicator` collectives that
+//! lies lexically inside an `if`/`while`/`match` region whose condition
+//! mentions a rank-valued identifier (or any chained `else` branch of one),
+//! or that follows a rank-guarded `return` in the same function. Functions
+//! named like the collectives themselves (communicator backends and
+//! decorators implementing the operation) are exempt.
+
+use super::{is_method_call, rank_conditional_mask, Diagnostic, Pass, COLLECTIVES};
+use crate::scanner::CodeModel;
+
+/// See the module docs.
+pub struct RankCollective;
+
+impl Pass for RankCollective {
+    fn name(&self) -> &'static str {
+        "rank_collective"
+    }
+
+    fn description(&self) -> &'static str {
+        "collective calls inside rank-dependent conditionals or after rank-guarded early returns"
+    }
+
+    fn run(&self, file: &str, model: &CodeModel, out: &mut Vec<Diagnostic>) {
+        let mask = rank_conditional_mask(model);
+        // Rank-guarded regions containing a `return`, per enclosing fn:
+        // (fn_idx token, region end token, return line).
+        let mut guarded_returns: Vec<(usize, usize, usize)> = Vec::new();
+        {
+            let mut i = 0usize;
+            while i < model.tokens.len() {
+                if mask[i] && model.tokens[i].is_ident("return") && !model.in_test[i] {
+                    if let Some(f) = model.enclosing_fn(i) {
+                        // The region of interest ends where the mask next
+                        // turns off.
+                        let mut end = i;
+                        while end + 1 < model.tokens.len() && mask[end + 1] {
+                            end += 1;
+                        }
+                        guarded_returns.push((f.fn_idx, end, model.tokens[i].line));
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        for (i, &rank_dependent) in mask.iter().enumerate() {
+            if model.in_test[i] {
+                continue;
+            }
+            let Some(name) = COLLECTIVES.iter().find(|c| is_method_call(model, i, c)) else {
+                continue;
+            };
+            if let Some(f) = model.enclosing_fn(i) {
+                // A communicator backend implementing `allreduce_sum` may
+                // freely branch on rank inside it — that *is* the
+                // collective, not a call site.
+                if COLLECTIVES.contains(&f.name.as_str()) {
+                    continue;
+                }
+            }
+            let line = model.tokens[i].line;
+            if rank_dependent {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "collective `{name}` inside a rank-dependent conditional: every rank \
+                         must execute an identical collective sequence (SPMD); hoist the call \
+                         or make the condition rank-uniform"
+                    ),
+                });
+                continue;
+            }
+            let encl = model.enclosing_fn(i).map(|f| f.fn_idx);
+            if let Some((_, _, ret_line)) = guarded_returns
+                .iter()
+                .find(|(f, end, _)| Some(*f) == encl && *end < i)
+            {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "collective `{name}` is skipped by ranks taking the rank-guarded early \
+                         return at line {ret_line}: the remaining ranks will block in it forever"
+                    ),
+                });
+            }
+        }
+    }
+}

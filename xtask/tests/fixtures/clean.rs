@@ -1,0 +1,45 @@
+//! Fixture: every pass must stay silent on these correct idioms.
+
+fn rank_uniform_collective(comm: &C) -> f64 {
+    let rank = comm.rank();
+    let scale = if rank == 0 { 2 } else { 1 };
+    let mut buf = [scale as f64];
+    comm.allreduce_sum(&mut buf);
+    buf[0]
+}
+
+fn guarded_exchange(comm: &C, rank: usize) {
+    if rank == 0 {
+        comm.send(1, &[1.0]);
+        let _ = comm.recv(1);
+    } else {
+        let _ = comm.recv(0);
+        comm.send(0, &[1.0]);
+    }
+}
+
+fn tolerance_compare(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12
+}
+
+fn widening_cast(n: u32) -> u64 {
+    n as u64
+}
+
+fn contracts(n: usize) -> usize {
+    assert!(n > 0, "asserts are allowed: contract checks are the point");
+    match n {
+        0 => unreachable!("unreachable! marks impossible branches"),
+        k => k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<f64> = Some(0.0);
+        assert!(x.unwrap() == 0.0);
+        panic!("even this is fine in tests");
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `float_cmp` fires on exact float equality.
+
+fn sentinel(x: f64) -> bool {
+    x == 0.0
+}
+
+fn not_half(x: f64) -> bool {
+    1.5 != x
+}

@@ -1,0 +1,7 @@
+//! Fixture: malformed suppressions (missing reason, unknown pass) error out.
+
+// analyze::allow(panic_surface):
+fn a() {}
+
+// analyze::allow(no_such_pass): the pass name does not exist
+fn b() {}

@@ -1,0 +1,9 @@
+//! Fixture: `narrow_cast` fires on narrowing and truncating casts.
+
+fn narrows(n: usize, x: f64) -> usize {
+    let a = n as u32;
+    let b = x as f32;
+    let c = x.ceil() as usize;
+    let d = 2.5 as u64;
+    c + d as usize + a as usize + b as usize
+}

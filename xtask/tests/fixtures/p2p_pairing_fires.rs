@@ -1,0 +1,10 @@
+//! Fixture: `p2p_pairing` fires on unpaired and deadlock-shaped p2p.
+
+fn fire_and_forget(comm: &C) {
+    comm.send(1, &[1.0]);
+}
+
+fn symmetric_swap_wrong_order(comm: &C, peer: usize) {
+    let msg = comm.recv(peer);
+    comm.send(peer, &msg);
+}

@@ -1,0 +1,16 @@
+//! Fixture: `panic_surface` fires on panicking constructs.
+
+fn boom(x: Option<u32>) -> u32 {
+    if x.is_none() {
+        panic!("no value");
+    }
+    x.unwrap()
+}
+
+fn widen(y: Result<u32, E>) -> u32 {
+    y.expect("must")
+}
+
+fn later() {
+    todo!()
+}

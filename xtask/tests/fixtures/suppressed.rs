@@ -1,0 +1,10 @@
+//! Fixture: valid suppressions silence findings (standalone and trailing).
+
+fn documented_sentinel(x: f64) -> bool {
+    // analyze::allow(float_cmp): fixture — exact sentinel comparison is intended
+    x == 0.0
+}
+
+fn documented_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // analyze::allow(panic_surface): fixture — invariant documented here
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression that silences nothing must be reported.
+
+// analyze::allow(float_cmp): nothing on the next line compares floats
+fn fine(x: u32) -> u32 {
+    x + 1
+}

@@ -1,0 +1,126 @@
+//! Property tests: the scanner and every pass must be total — no panic and
+//! no unbounded loop — on arbitrary input, because `cargo xtask analyze`
+//! runs over whatever source text the repo contains, including files that
+//! do not parse.
+
+use proptest::prelude::*;
+use xtask::passes::all_passes;
+use xtask::scanner::CodeModel;
+
+/// Syntax fragments whose concatenations hit the scanner's hard cases:
+/// unterminated strings and comments, stray quotes and hashes, lifetimes
+/// next to char literals, dangling attributes, unbalanced braces.
+const FRAGMENTS: &[&str] = &[
+    "fn f",
+    "fn",
+    "{",
+    "}",
+    "(",
+    ")",
+    "#[cfg(test)]",
+    "#[cfg(test)",
+    "mod t",
+    "r#\"",
+    "\"#",
+    "r\"",
+    "\"",
+    "'",
+    "'a",
+    "'a'",
+    "b\"x\"",
+    "br#\"y\"#",
+    "c\"z\"",
+    "/*",
+    "*/",
+    "//",
+    "///!",
+    "if rank == 0",
+    "while my_rank != 1",
+    "else",
+    "match x",
+    ".recv(",
+    ".send(",
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "todo!",
+    "return",
+    "0.5",
+    "1e",
+    "1e3",
+    "2f64",
+    "0..5",
+    "==",
+    "!=",
+    "::",
+    "=>",
+    "as u32",
+    "as f32",
+    "as usize",
+    "let x =",
+    ";",
+    "#",
+    "\\",
+    "r#fn",
+    "analyze::allow(float_cmp): soup",
+    "// analyze::allow(panic_surface): soup",
+    "// analyze::allow(bogus)",
+    "\u{7f}",
+    "é",
+    "𝕊",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scanner_is_total_on_byte_soup(bytes in proptest::collection::vec(0u8..=255u8, 0usize..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let model = CodeModel::build(&src);
+        // Structural invariants hold whatever the input was.
+        prop_assert_eq!(model.tokens.len(), model.depth.len());
+        prop_assert_eq!(model.tokens.len(), model.in_test.len());
+        for f in &model.fns {
+            if let Some((open, close)) = f.body {
+                prop_assert!(open < close);
+                prop_assert!(close < model.tokens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_and_passes_are_total_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0usize..64),
+    ) {
+        let src = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let model = CodeModel::build(&src);
+        prop_assert_eq!(model.tokens.len(), model.in_test.len());
+        // Every pass must also survive the malformed token stream.
+        let mut out = Vec::new();
+        for pass in all_passes() {
+            pass.run("soup.rs", &model, &mut out);
+        }
+        for d in &out {
+            prop_assert!(d.line >= 1);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_monotone_and_in_range(
+        bytes in proptest::collection::vec(0u8..=255u8, 0usize..256),
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let model = CodeModel::build(&src);
+        let max_line = src.lines().count().max(1);
+        let mut prev = 1usize;
+        for t in &model.tokens {
+            prop_assert!(t.line >= prev, "token lines must be non-decreasing");
+            prop_assert!(t.line <= max_line, "token line past end of input");
+            prev = t.line;
+        }
+    }
+}
