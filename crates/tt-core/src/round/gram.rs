@@ -12,13 +12,101 @@ use crate::round::truncate::{gram_truncate, SingularSide};
 use crate::round::{GramOrder, RoundReport, RoundingOptions};
 use crate::tensor::TtTensor;
 use tt_comm::Communicator;
-use tt_linalg::{gemm_alloc, syrk_v, Matrix, Trans};
+use tt_linalg::{gemm_alloc, gemm_v, syrk_v, Matrix, Trans};
+
+/// Per-sweep buffer pool for the rounding hot path.
+///
+/// Every core visit in a Gram sweep or truncation pass produces a temporary
+/// the size of a core unfolding (and a small Gram matrix); without reuse the
+/// sequence variant performs `O(N)` fresh heap allocations *per bond* and a
+/// full-train clone up front. The pool recycles retired buffers (contracted
+/// temporaries, replaced cores, consumed Gram matrices) into subsequent
+/// [`SweepScratch::take`] requests, best-fit by capacity. The counters make
+/// the saving observable in tests.
+///
+/// Numerics are untouched: a recycled buffer is fully overwritten (`gemm`
+/// with `beta = 0` clears it first), so results are bitwise identical to the
+/// allocate-fresh path.
+pub(crate) struct SweepScratch {
+    free: Vec<Vec<f64>>,
+    /// `take` calls that had to allocate a fresh buffer.
+    pub(crate) fresh: usize,
+    /// `take` calls served from the recycle pool.
+    pub(crate) reuses: usize,
+}
+
+impl SweepScratch {
+    pub(crate) fn new() -> Self {
+        SweepScratch {
+            free: Vec::new(),
+            fresh: 0,
+            reuses: 0,
+        }
+    }
+
+    /// A `rows × cols` matrix backed by a recycled buffer when one fits
+    /// (smallest adequate capacity wins, so a big retired core buffer is not
+    /// burned on a tiny Gram output), freshly allocated otherwise. Contents
+    /// are zeroed either way.
+    fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        let mut best: Option<(usize, usize)> = None;
+        for (pos, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= need && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((pos, cap));
+            }
+        }
+        match best {
+            Some((pos, _)) => {
+                let mut buf = self.free.swap_remove(pos);
+                buf.clear();
+                buf.resize(need, 0.0);
+                self.reuses += 1;
+                Matrix::from_col_major(rows, cols, buf)
+            }
+            None => {
+                self.fresh += 1;
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Returns a retired matrix's buffer to the pool.
+    fn recycle(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Returns a retired core's buffer to the pool.
+    fn recycle_core(&mut self, c: TtCore) {
+        self.recycle(c.into_v());
+    }
+}
 
 /// `H(T) ← W · H(T)`: pre-multiplies the horizontal unfolding by a small
 /// replicated matrix. Communication-free under the 1-D distribution.
 pub(crate) fn premult_h(core: &TtCore, w: &Matrix) -> TtCore {
     assert_eq!(w.cols(), core.r0(), "premult_h: dimension mismatch");
     let out = gemm_alloc(Trans::No, w.view(), Trans::No, core.h(), 1.0);
+    TtCore::from_h(out, w.rows(), core.mode_dim(), core.r1())
+}
+
+/// [`premult_h`] writing into a scratch-pool buffer.
+fn premult_h_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
+    assert_eq!(w.cols(), core.r0(), "premult_h: dimension mismatch");
+    let mut out = s.take(w.rows(), core.mode_dim() * core.r1());
+    gemm_v(
+        Trans::No,
+        w.view(),
+        Trans::No,
+        core.h(),
+        1.0,
+        0.0,
+        out.view_mut(),
+    );
     TtCore::from_h(out, w.rows(), core.mode_dim(), core.r1())
 }
 
@@ -30,16 +118,34 @@ pub(crate) fn postmult_v(core: &TtCore, w: &Matrix) -> TtCore {
     TtCore::from_v(out, core.r0(), core.mode_dim(), w.cols())
 }
 
+/// [`postmult_v`] writing into a scratch-pool buffer.
+fn postmult_v_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
+    assert_eq!(w.rows(), core.r1(), "postmult_v: dimension mismatch");
+    let mut out = s.take(core.r0() * core.mode_dim(), w.cols());
+    gemm_v(
+        Trans::No,
+        core.v(),
+        Trans::No,
+        w.view(),
+        1.0,
+        0.0,
+        out.view_mut(),
+    );
+    TtCore::from_v(out, core.r0(), core.mode_dim(), w.cols())
+}
+
 /// Two-mode contraction `H(A)·H(B)ᵀ` (local part) + allreduce.
-fn contract_h(comm: &impl Communicator, a: &TtCore, b: &TtCore) -> Matrix {
-    let mut g = gemm_alloc(Trans::No, a.h(), Trans::Yes, b.h(), 1.0);
+fn contract_h(comm: &impl Communicator, a: &TtCore, b: &TtCore, s: &mut SweepScratch) -> Matrix {
+    let mut g = s.take(a.r0(), b.r0());
+    gemm_v(Trans::No, a.h(), Trans::Yes, b.h(), 1.0, 0.0, g.view_mut());
     comm.allreduce_sum(g.as_mut_slice());
     g
 }
 
 /// Two-mode contraction `V(A)ᵀ·V(B)` (local part) + allreduce.
-fn contract_v(comm: &impl Communicator, a: &TtCore, b: &TtCore) -> Matrix {
-    let mut g = gemm_alloc(Trans::Yes, a.v(), Trans::No, b.v(), 1.0);
+fn contract_v(comm: &impl Communicator, a: &TtCore, b: &TtCore, s: &mut SweepScratch) -> Matrix {
+    let mut g = s.take(a.r1(), b.r1());
+    gemm_v(Trans::Yes, a.v(), Trans::No, b.v(), 1.0, 0.0, g.view_mut());
     comm.allreduce_sum(g.as_mut_slice());
     g
 }
@@ -49,12 +155,17 @@ fn contract_v(comm: &impl Communicator, a: &TtCore, b: &TtCore) -> Matrix {
 /// Returns `g` with `g[b] = G_b^R` for `0 ≤ b ≤ N-1`; `g[0]` is the `1×1`
 /// matrix `‖X‖²`.
 pub fn gram_sweep_right(comm: &impl Communicator, x: &TtTensor) -> Vec<Matrix> {
+    gram_sweep_right_s(comm, x, &mut SweepScratch::new())
+}
+
+fn gram_sweep_right_s(comm: &impl Communicator, x: &TtTensor, s: &mut SweepScratch) -> Vec<Matrix> {
     let n = x.order();
     let mut g = vec![Matrix::identity(1); n];
-    g[n - 1] = contract_h(comm, x.core(n - 1), x.core(n - 1));
+    g[n - 1] = contract_h(comm, x.core(n - 1), x.core(n - 1), s);
     for k in (0..n - 1).rev() {
-        let c = postmult_v(x.core(k), &g[k + 1]);
-        g[k] = contract_h(comm, &c, x.core(k));
+        let c = postmult_v_s(x.core(k), &g[k + 1], s);
+        g[k] = contract_h(comm, &c, x.core(k), s);
+        s.recycle_core(c);
     }
     g
 }
@@ -65,14 +176,19 @@ pub fn gram_sweep_right(comm: &impl Communicator, x: &TtTensor) -> Vec<Matrix> {
 /// Returns `g` with `g[b] = G_b^L` for `1 ≤ b ≤ N`; `g[N]` is the `1×1`
 /// matrix `‖X‖²`. (`g[0]` is unused and left as the `1×1` identity.)
 pub fn gram_sweep_left(comm: &impl Communicator, x: &TtTensor) -> Vec<Matrix> {
+    gram_sweep_left_s(comm, x, &mut SweepScratch::new())
+}
+
+fn gram_sweep_left_s(comm: &impl Communicator, x: &TtTensor, s: &mut SweepScratch) -> Vec<Matrix> {
     let n = x.order();
     let mut g = vec![Matrix::identity(1); n + 1];
     let mut g1 = syrk_v(x.core(0).v(), 1.0);
     comm.allreduce_sum(g1.as_mut_slice());
     g[1] = g1;
     for k in 1..n {
-        let e = premult_h(x.core(k), &g[k]);
-        g[k + 1] = contract_v(comm, x.core(k), &e);
+        let e = premult_h_s(x.core(k), &g[k], s);
+        g[k + 1] = contract_v(comm, x.core(k), &e, s);
+        s.recycle_core(e);
     }
     g
 }
@@ -139,12 +255,37 @@ pub fn round_gram_seq_dist(
     opts: &RoundingOptions,
     order: GramOrder,
 ) -> (TtTensor, RoundReport) {
-    let n = x.order();
-    let ranks_before = x.ranks();
+    round_gram_seq_dist_owned(comm, x.clone(), opts, order)
+}
+
+/// By-value variant of [`round_gram_seq_dist`]: rounds the train **in
+/// place** instead of cloning it, and recycles retired core buffers through
+/// a per-sweep [`SweepScratch`] pool. The numerical result is identical;
+/// callers that discard their input (the solver inner loops) save the full
+/// train copy plus `O(order)` temporary allocations per sweep.
+pub fn round_gram_seq_dist_owned(
+    comm: &impl Communicator,
+    x: TtTensor,
+    opts: &RoundingOptions,
+    order: GramOrder,
+) -> (TtTensor, RoundReport) {
+    let mut scratch = SweepScratch::new();
+    round_gram_seq_scratch(comm, x, opts, order, &mut scratch)
+}
+
+pub(crate) fn round_gram_seq_scratch(
+    comm: &impl Communicator,
+    mut y: TtTensor,
+    opts: &RoundingOptions,
+    order: GramOrder,
+    scratch: &mut SweepScratch,
+) -> (TtTensor, RoundReport) {
+    let n = y.order();
+    let ranks_before = y.ranks();
     if n == 1 {
-        let norm = crate::dist::norm_local(comm, x);
+        let norm = crate::dist::norm_local(comm, &y);
         return (
-            x.clone(),
+            y,
             RoundReport {
                 norm,
                 ranks_before: ranks_before.clone(),
@@ -154,12 +295,11 @@ pub fn round_gram_seq_dist(
         );
     }
 
-    let mut y = x.clone();
     let mut truncations = Vec::with_capacity(n - 1);
 
     let norm = match order {
         GramOrder::Rlr => {
-            let gr = gram_sweep_right(comm, x);
+            let gr = gram_sweep_right_s(comm, &y, scratch);
             let norm = gr[0][(0, 0)].max(0.0).sqrt();
             let eps0 = epsilon0(norm, opts.tolerance, n);
             // Left-to-right truncation; left cores stay orthonormal, the
@@ -171,28 +311,36 @@ pub fn round_gram_seq_dist(
                     g
                 };
                 let upd = gram_truncate(b, &gl, gr_b, eps0, opts.max_rank, SingularSide::Right);
-                let left = postmult_v(y.core(b - 1), &upd.w_left);
-                let right = premult_h(y.core(b), &upd.w_right);
-                *y.core_mut(b - 1) = left;
-                *y.core_mut(b) = right;
+                scratch.recycle(gl);
+                let left = postmult_v_s(y.core(b - 1), &upd.w_left, scratch);
+                let right = premult_h_s(y.core(b), &upd.w_right, scratch);
+                scratch.recycle_core(std::mem::replace(y.core_mut(b - 1), left));
+                scratch.recycle_core(std::mem::replace(y.core_mut(b), right));
                 truncations.push(upd.info);
+            }
+            for g in gr {
+                scratch.recycle(g);
             }
             norm
         }
         GramOrder::Lrl => {
-            let gl = gram_sweep_left(comm, x);
+            let gl = gram_sweep_left_s(comm, &y, scratch);
             let norm = gl[n][(0, 0)].max(0.0).sqrt();
             let eps0 = epsilon0(norm, opts.tolerance, n);
             // Right-to-left truncation; right cores stay orthonormal, the
             // singular values ride on the left factor.
             for b in (1..n).rev() {
-                let gr = contract_h(comm, y.core(b), y.core(b));
+                let gr = contract_h(comm, y.core(b), y.core(b), scratch);
                 let upd = gram_truncate(b, &gl[b], &gr, eps0, opts.max_rank, SingularSide::Left);
-                let left = postmult_v(y.core(b - 1), &upd.w_left);
-                let right = premult_h(y.core(b), &upd.w_right);
-                *y.core_mut(b - 1) = left;
-                *y.core_mut(b) = right;
+                scratch.recycle(gr);
+                let left = postmult_v_s(y.core(b - 1), &upd.w_left, scratch);
+                let right = premult_h_s(y.core(b), &upd.w_right, scratch);
+                scratch.recycle_core(std::mem::replace(y.core_mut(b - 1), left));
+                scratch.recycle_core(std::mem::replace(y.core_mut(b), right));
                 truncations.push(upd.info);
+            }
+            for g in gl {
+                scratch.recycle(g);
             }
             norm
         }
@@ -220,12 +368,23 @@ pub fn round_gram_sim_dist(
     x: &TtTensor,
     opts: &RoundingOptions,
 ) -> (TtTensor, RoundReport) {
-    let n = x.order();
-    let ranks_before = x.ranks();
+    round_gram_sim_dist_owned(comm, x.clone(), opts)
+}
+
+/// By-value variant of [`round_gram_sim_dist`]: truncates the train in
+/// place, with retired buffers recycled through a per-sweep pool (see
+/// [`round_gram_seq_dist_owned`]).
+pub fn round_gram_sim_dist_owned(
+    comm: &impl Communicator,
+    mut y: TtTensor,
+    opts: &RoundingOptions,
+) -> (TtTensor, RoundReport) {
+    let n = y.order();
+    let ranks_before = y.ranks();
     if n == 1 {
-        let norm = crate::dist::norm_local(comm, x);
+        let norm = crate::dist::norm_local(comm, &y);
         return (
-            x.clone(),
+            y,
             RoundReport {
                 norm,
                 ranks_before: ranks_before.clone(),
@@ -235,19 +394,19 @@ pub fn round_gram_sim_dist(
         );
     }
 
-    let gl = gram_sweep_left(comm, x);
-    let gr = gram_sweep_right(comm, x);
+    let mut scratch = SweepScratch::new();
+    let gl = gram_sweep_left_s(comm, &y, &mut scratch);
+    let gr = gram_sweep_right_s(comm, &y, &mut scratch);
     let norm = gr[0][(0, 0)].max(0.0).sqrt();
     let eps0 = epsilon0(norm, opts.tolerance, n);
 
-    let mut y = x.clone();
     let mut truncations = Vec::with_capacity(n - 1);
     for b in 1..n {
         let upd = gram_truncate(b, &gl[b], &gr[b], eps0, opts.max_rank, SingularSide::Split);
-        let left = postmult_v(y.core(b - 1), &upd.w_left);
-        let right = premult_h(y.core(b), &upd.w_right);
-        *y.core_mut(b - 1) = left;
-        *y.core_mut(b) = right;
+        let left = postmult_v_s(y.core(b - 1), &upd.w_left, &mut scratch);
+        let right = premult_h_s(y.core(b), &upd.w_right, &mut scratch);
+        scratch.recycle_core(std::mem::replace(y.core_mut(b - 1), left));
+        scratch.recycle_core(std::mem::replace(y.core_mut(b), right));
         truncations.push(upd.info);
     }
 
@@ -444,7 +603,8 @@ mod tests {
             GramOrder::Lrl,
         );
         for k in 1..y.order() {
-            let g = gemm_alloc(Trans::No, y.core(k).h(), Trans::Yes, y.core(k).h(), 1.0);
+            // Same symmetric H·Hᵀ kernel the production sweep uses.
+            let g = tt_linalg::syrk_nt_v(y.core(k).h(), 1.0);
             let id = Matrix::identity(g.rows());
             assert!(
                 g.max_abs_diff(&id) < 1e-7,
@@ -496,6 +656,42 @@ mod tests {
         let x = TtTensor::random(&[7], &[], &mut r);
         let y = round_gram_rlr(&x, 1e-3);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn owned_variants_match_borrowed_bitwise() {
+        let (_, doubled) = redundant(&[5, 4, 6, 5], &[3, 2, 4], 31);
+        let comm = SelfComm::new();
+        let opts = RoundingOptions::with_tolerance(1e-9);
+        for order in [GramOrder::Rlr, GramOrder::Lrl] {
+            let (a, ra) = round_gram_seq_dist(&comm, &doubled, &opts, order);
+            let (b, rb) = round_gram_seq_dist_owned(&comm, doubled.clone(), &opts, order);
+            assert_eq!(a, b, "owned seq ({order:?}) must match borrowed exactly");
+            assert_eq!(ra.ranks_after, rb.ranks_after);
+        }
+        let (a, _) = round_gram_sim_dist(&comm, &doubled, &opts);
+        let (b, _) = round_gram_sim_dist_owned(&comm, doubled.clone(), &opts);
+        assert_eq!(a, b, "owned sim must match borrowed exactly");
+    }
+
+    #[test]
+    fn scratch_pool_recycles_most_buffers() {
+        let (_, doubled) = redundant(&[6, 5, 6, 5, 4], &[4, 3, 4, 3], 32);
+        let comm = SelfComm::new();
+        let opts = RoundingOptions::with_tolerance(1e-9);
+        let mut scratch = SweepScratch::new();
+        let (_, report) =
+            round_gram_seq_scratch(&comm, doubled, &opts, GramOrder::Rlr, &mut scratch);
+        assert_eq!(report.truncations.len(), 4);
+        let total = scratch.fresh + scratch.reuses;
+        // Every `take` would have been a heap allocation before the pool;
+        // with recycling the fresh count collapses to the pool warm-up.
+        assert!(
+            scratch.reuses * 2 > total,
+            "expected most takes recycled: fresh={} reuses={}",
+            scratch.fresh,
+            scratch.reuses
+        );
     }
 
     #[test]

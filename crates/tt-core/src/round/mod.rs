@@ -20,7 +20,7 @@ pub mod tsqr;
 
 pub use gram::{
     gram_sweep_left, gram_sweep_right, gram_sweep_right_symmetric, round_gram_seq_dist,
-    round_gram_sim_dist,
+    round_gram_seq_dist_owned, round_gram_sim_dist, round_gram_sim_dist_owned,
 };
 pub use qr::round_qr_dist;
 pub use random::{round_randomized, round_randomized_dist, RandomizedOptions};

@@ -125,8 +125,9 @@ pub fn gram_truncate(
     let l = t.rank();
     let sigma_max = t.singular_values.first().copied().unwrap_or(0.0);
 
-    // W_L = V_L Λ_L^{-1/2} Û (then optional Σ scaling).
-    let mut u_scaled = t.u.clone();
+    // W_L = V_L Λ_L^{-1/2} Û (then optional Σ scaling). The TSVD factors
+    // are consumed in place — only the singular values are needed below.
+    let mut u_scaled = t.u;
     // Pre-scale Û rows by Λ_L^{-1/2} (row i of Û pairs with eigenpair i).
     for j in 0..l {
         let col = u_scaled.col_mut(j);
@@ -138,7 +139,7 @@ pub fn gram_truncate(
 
     // W_R = V̂ᵀ Λ_R^{-1/2} V_Rᵀ (then optional Σ scaling), built as
     // (V_R Λ_R^{-1/2} V̂)ᵀ.
-    let mut v_scaled = t.v.clone();
+    let mut v_scaled = t.v;
     for j in 0..l {
         let col = v_scaled.col_mut(j);
         for (i, x) in col.iter_mut().enumerate() {

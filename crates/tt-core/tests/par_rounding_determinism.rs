@@ -1,0 +1,71 @@
+//! Thread-count determinism for the rounding algorithms.
+//!
+//! The parallel kernel layer (`tt_linalg::par`) promises bitwise-identical
+//! results at any thread count. These tests lift that promise from kernels
+//! to whole algorithms: every rounding variant run under a 4-thread kernel
+//! pool must produce a TT tensor bit-for-bit equal to the 1-thread run —
+//! same ranks, same core entries, same sign conventions.
+
+use rand::SeedableRng;
+use tt_core::round::{round_gram_lrl, round_gram_rlr, round_gram_simultaneous, round_qr};
+use tt_core::TtTensor;
+use tt_linalg::par::with_threads;
+
+fn redundant(dims: &[usize], rank_half: usize, seed: u64) -> TtTensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    tt_core::synthetic::generate_redundant(dims, rank_half, &mut rng)
+}
+
+fn assert_tensors_bitwise_eq(a: &TtTensor, b: &TtTensor, what: &str) {
+    assert_eq!(a.ranks(), b.ranks(), "{what}: ranks");
+    for k in 0..a.order() {
+        let (ca, cb) = (a.core(k), b.core(k));
+        assert_eq!(
+            (ca.r0(), ca.mode_dim(), ca.r1()),
+            (cb.r0(), cb.mode_dim(), cb.r1()),
+            "{what}: core {k} shape"
+        );
+        for (idx, (x, y)) in ca.v().as_slice().iter().zip(cb.v().as_slice()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "{what}: core {k} entry {idx} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+}
+
+type Rounder = fn(&TtTensor, f64) -> TtTensor;
+
+#[test]
+fn all_rounding_variants_bitwise_identical_under_4_threads() {
+    let x = redundant(&[8, 7, 6, 8, 5], 6, 4242);
+    let tol = 1e-8;
+    let variants: [(&str, Rounder); 4] = [
+        ("rlr", round_gram_rlr),
+        ("lrl", round_gram_lrl),
+        ("sim", round_gram_simultaneous),
+        ("qr", round_qr),
+    ];
+    for (name, round) in variants {
+        let serial = with_threads(1, || round(&x, tol));
+        let parallel = with_threads(4, || round(&x, tol));
+        assert_tensors_bitwise_eq(&serial, &parallel, name);
+        // And a second parallel run must be reproducible too (no hidden
+        // scheduling dependence).
+        let again = with_threads(4, || round(&x, tol));
+        assert_tensors_bitwise_eq(&parallel, &again, &format!("{name} repeat"));
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_truncated_ranks() {
+    // Rank decisions come from singular-value thresholds — the most
+    // sensitive consumer of kernel bit-patterns. Sweep several tolerances.
+    let x = redundant(&[9, 8, 7, 9], 5, 777);
+    for &tol in &[1e-2, 1e-6, 1e-12] {
+        let r1 = with_threads(1, || round_gram_rlr(&x, tol));
+        let r4 = with_threads(4, || round_gram_rlr(&x, tol));
+        assert_eq!(r1.ranks(), r4.ranks(), "tol {tol}: ranks diverged");
+        assert_tensors_bitwise_eq(&r1, &r4, &format!("rlr tol {tol}"));
+    }
+}

@@ -28,6 +28,7 @@
 
 use crate::gemm::Trans;
 use crate::matrix::Matrix;
+use crate::par;
 use crate::view::{MatMut, MatRef};
 
 /// Microkernel tile rows. Two 4-wide f64 vectors per accumulator column.
@@ -171,6 +172,14 @@ fn writeback(
 /// Shapes must already agree and `alpha`, `m`, `n`, `k` must be nonzero /
 /// nondegenerate — the dispatcher in [`crate::gemm::gemm_v`] guarantees both
 /// and handles the `beta` scaling of `C` beforehand.
+///
+/// Above [`par::PAR_FLOP_THRESHOLD`] the output columns are partitioned into
+/// `NR`-aligned contiguous ranges and each range is swept by its own scoped
+/// worker thread. Each worker packs its own panels from the shared operands
+/// and owns a disjoint column slice of `C`, so no synchronization is needed
+/// beyond the final join — and because the `k` reduction is never split, each
+/// output element sees exactly the sequential accumulation order and the
+/// result is **bitwise identical** for every thread count.
 pub fn gemm_accumulate(
     ta: Trans,
     a: MatRef<'_>,
@@ -183,6 +192,47 @@ pub fn gemm_accumulate(
     let (_, n) = tb.dims(&b);
     debug_assert!(m > 0 && n > 0 && k > 0 && alpha != 0.0);
 
+    let region = par::region(crate::gemm::gemm_flops(m, n, k));
+    let threads = region.threads().min(n.div_ceil(NR));
+    if threads <= 1 {
+        gemm_sweep(ta, a, tb, b, alpha, &mut c.reborrow(), 0);
+        return;
+    }
+
+    let ranges = par::split_even(n, threads, NR);
+    let mut jobs = Vec::with_capacity(ranges.len());
+    let mut rest = c.reborrow();
+    let mut offset = 0usize;
+    for (lo, hi) in ranges {
+        let (chunk, tail) = rest.split_cols_at(hi - offset);
+        rest = tail;
+        offset = hi;
+        jobs.push(move || {
+            let mut chunk = chunk;
+            gemm_sweep(ta, a, tb, b, alpha, &mut chunk, lo);
+        });
+    }
+    par::join_all(jobs);
+}
+
+/// The full cache-blocked loop nest over one contiguous column range of the
+/// output. `c` holds the local columns (`c.cols()` of them) and `col_off` is
+/// the global index of its first column, used only to address `op(B)` in the
+/// packing — so a worker sweeping columns `[col_off, col_off + c.cols())`
+/// performs precisely the instructions the sequential sweep performs for
+/// those columns.
+fn gemm_sweep(
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    col_off: usize,
+) {
+    let (m, k) = ta.dims(&a);
+    let n = c.cols();
+
     let mut pa = vec![0.0; m.min(MC).div_ceil(MR) * MR * k.min(KC)];
     let mut pb = vec![0.0; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
 
@@ -190,11 +240,11 @@ pub fn gemm_accumulate(
         let nc = NC.min(n - j0);
         for k0 in (0..k).step_by(KC) {
             let kc = KC.min(k - k0);
-            pack_b(tb, &b, k0, kc, j0, nc, &mut pb);
+            pack_b(tb, &b, k0, kc, col_off + j0, nc, &mut pb);
             for i0 in (0..m).step_by(MC) {
                 let mc = MC.min(m - i0);
                 pack_a(ta, &a, i0, mc, k0, kc, &mut pa);
-                multiply_panels(&pa, &pb, mc, nc, kc, alpha, c, i0, j0, false);
+                multiply_panels(&pa, &pb, mc, nc, kc, alpha, c, i0, j0, 0, false);
             }
         }
     }
@@ -203,9 +253,11 @@ pub fn gemm_accumulate(
 /// Inner tile sweep over one packed `A` panel (`mc × kc`) and one packed `B`
 /// panel (`nc × kc`), writing `c[i0.., j0..] += alpha * Ã B̃`.
 ///
-/// `triangle_only` implements the SYRK triangle cut: a register tile lying
-/// entirely in the strict lower triangle (every column index below every row
-/// index) is skipped — the mirror pass fills it.
+/// `j0` indexes `c`'s *local* columns; `col_off` is the global index of
+/// `c`'s first column (0 when `c` is the whole output). The distinction only
+/// matters for `triangle_only`, the SYRK triangle cut: a register tile lying
+/// entirely in the strict lower triangle of the *global* matrix (every global
+/// column index below every row index) is skipped — the mirror pass fills it.
 #[allow(clippy::too_many_arguments)]
 fn multiply_panels(
     pa: &[f64],
@@ -217,18 +269,19 @@ fn multiply_panels(
     c: &mut MatMut<'_>,
     i0: usize,
     j0: usize,
+    col_off: usize,
     triangle_only: bool,
 ) {
     let a_slabs = mc.div_ceil(MR);
     let b_slabs = nc.div_ceil(NR);
     for bs in 0..b_slabs {
         let nr = NR.min(nc - bs * NR);
-        let jg = j0 + bs * NR; // global first column of this tile
+        let jl = j0 + bs * NR; // local first column of this tile
         let pb_slab = &pb[bs * NR * kc..(bs * NR * kc) + NR * kc];
         for as_ in 0..a_slabs {
             let mr = MR.min(mc - as_ * MR);
             let ig = i0 + as_ * MR; // global first row of this tile
-            if triangle_only && jg + nr <= ig {
+            if triangle_only && col_off + jl + nr <= ig {
                 continue;
             }
             let mut acc = [[0.0; MR]; NR];
@@ -237,7 +290,7 @@ fn multiply_panels(
                 pb_slab,
                 &mut acc,
             );
-            writeback(&acc, alpha, c, ig, mr, jg, nr);
+            writeback(&acc, alpha, c, ig, mr, jl, nr);
         }
     }
 }
@@ -257,6 +310,13 @@ pub enum SyrkShape {
 /// The `B`-side panel is packed **once** per `KC` slice and reused by every
 /// row block — with `op(A)` and `op(B)` drawn from the same operand this is
 /// the "pack once" saving on top of the triangle cut.
+///
+/// Parallel dispatch partitions the output columns with
+/// [`par::split_triangle`] (triangle-area-balanced, since column `j` of the
+/// upper triangle carries `j + 1` entries); each worker runs the sequential
+/// sweep over its own disjoint column slice with global triangle geometry, so
+/// the result is bitwise identical at every thread count. The `O(n²)` mirror
+/// pass stays sequential.
 pub fn syrk(a: MatRef<'_>, alpha: f64, shape: SyrkShape) -> Matrix {
     let (ta, tb) = match shape {
         SyrkShape::TransposeA => (Trans::Yes, Trans::No),
@@ -271,27 +331,28 @@ pub fn syrk(a: MatRef<'_>, alpha: f64, shape: SyrkShape) -> Matrix {
         return c;
     }
 
-    let mut pa = vec![0.0; n.min(MC).div_ceil(MR) * MR * k.min(KC)];
-    let mut pb = vec![0.0; n.min(NC).div_ceil(NR) * NR * k.min(KC)];
-
     {
+        // Half a gemm's arithmetic: only the (block) triangle is computed.
+        let region = par::region(crate::gemm::gemm_flops(n, n, k) / 2.0);
+        let threads = region.threads().min(n.div_ceil(NR));
         let mut cv = c.view_mut();
-        for j0 in (0..n).step_by(NC) {
-            let nc = NC.min(n - j0);
-            for k0 in (0..k).step_by(KC) {
-                let kc = KC.min(k - k0);
-                pack_b(tb, &a, k0, kc, j0, nc, &mut pb);
-                for i0 in (0..n).step_by(MC) {
-                    // Row blocks entirely below this column block contribute
-                    // only strictly-lower tiles; skip them wholesale.
-                    if i0 > j0 + nc {
-                        continue;
-                    }
-                    let mc = MC.min(n - i0);
-                    pack_a(ta, &a, i0, mc, k0, kc, &mut pa);
-                    multiply_panels(&pa, &pb, mc, nc, kc, alpha, &mut cv, i0, j0, true);
-                }
+        if threads <= 1 {
+            syrk_sweep(ta, a, tb, alpha, &mut cv, 0);
+        } else {
+            let ranges = par::split_triangle(n, threads, NR);
+            let mut jobs = Vec::with_capacity(ranges.len());
+            let mut rest = cv;
+            let mut offset = 0usize;
+            for (lo, hi) in ranges {
+                let (chunk, tail) = rest.split_cols_at(hi - offset);
+                rest = tail;
+                offset = hi;
+                jobs.push(move || {
+                    let mut chunk = chunk;
+                    syrk_sweep(ta, a, tb, alpha, &mut chunk, lo);
+                });
             }
+            par::join_all(jobs);
         }
     }
     // Mirror the upper triangle into the strict lower triangle. Boundary
@@ -303,6 +364,37 @@ pub fn syrk(a: MatRef<'_>, alpha: f64, shape: SyrkShape) -> Matrix {
         }
     }
     c
+}
+
+/// Sequential SYRK sweep over one contiguous column range of the output.
+/// `c` holds the local columns; `col_off` is the global index of its first
+/// column, threaded through to the packing and the triangle cuts so the
+/// per-tile work (and therefore the bits produced) is independent of how the
+/// columns were partitioned.
+fn syrk_sweep(ta: Trans, a: MatRef<'_>, tb: Trans, alpha: f64, c: &mut MatMut<'_>, col_off: usize) {
+    let (n, k) = ta.dims(&a);
+    let ncols = c.cols();
+
+    let mut pa = vec![0.0; n.min(MC).div_ceil(MR) * MR * k.min(KC)];
+    let mut pb = vec![0.0; ncols.min(NC).div_ceil(NR) * NR * k.min(KC)];
+
+    for j0 in (0..ncols).step_by(NC) {
+        let nc = NC.min(ncols - j0);
+        for k0 in (0..k).step_by(KC) {
+            let kc = KC.min(k - k0);
+            pack_b(tb, &a, k0, kc, col_off + j0, nc, &mut pb);
+            for i0 in (0..n).step_by(MC) {
+                // Row blocks entirely below this column block contribute
+                // only strictly-lower tiles; skip them wholesale.
+                if i0 > col_off + j0 + nc {
+                    continue;
+                }
+                let mc = MC.min(n - i0);
+                pack_a(ta, &a, i0, mc, k0, kc, &mut pa);
+                multiply_panels(&pa, &pb, mc, nc, kc, alpha, c, i0, j0, col_off, true);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -420,5 +512,67 @@ mod tests {
         let s = syrk(a.view(), 1.0, SyrkShape::TransposeA);
         assert_eq!(s.shape(), (4, 4));
         assert_eq!(s.max_abs(), 0.0);
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_bitwise_equals_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        // Edge slabs, multi-cache-block, and narrower-than-one-chunk shapes.
+        for &(m, n, k) in &[
+            (64usize, 130usize, 70usize),
+            (MC + 5, 2 * NR + 3, KC + 1),
+            (33, 3, 50),
+        ] {
+            let a = Matrix::gaussian(m, k, &mut rng);
+            let b = Matrix::gaussian(k, n, &mut rng);
+            let mut c1 = Matrix::gaussian(m, n, &mut rng);
+            let c0 = c1.clone();
+            crate::par::with_threads(1, || {
+                gemm_accumulate(
+                    Trans::No,
+                    a.view(),
+                    Trans::No,
+                    b.view(),
+                    1.5,
+                    &mut c1.view_mut(),
+                );
+            });
+            for t in [2usize, 3, 4, 7] {
+                let mut ct = c0.clone();
+                crate::par::with_threads(t, || {
+                    gemm_accumulate(
+                        Trans::No,
+                        a.view(),
+                        Trans::No,
+                        b.view(),
+                        1.5,
+                        &mut ct.view_mut(),
+                    );
+                });
+                assert_bits_eq(&c1, &ct, "gemm 1t vs Nt");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_syrk_bitwise_equals_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        for &(rows, cols) in &[(300usize, 41usize), (40, MC + 9), (KC + 3, 2 * NR + 1)] {
+            let a = Matrix::gaussian(rows, cols, &mut rng);
+            for shape in [SyrkShape::TransposeA, SyrkShape::TransposeB] {
+                let s1 = crate::par::with_threads(1, || syrk(a.view(), 1.25, shape));
+                for t in [2usize, 4, 5] {
+                    let st = crate::par::with_threads(t, || syrk(a.view(), 1.25, shape));
+                    assert_bits_eq(&s1, &st, "syrk 1t vs Nt");
+                }
+            }
+        }
     }
 }

@@ -73,6 +73,16 @@ pub fn kernel_choice(m: usize, n: usize, k: usize) -> Kernel {
     }
 }
 
+/// Worker-thread count a `m × n × k` multiply would be granted right now:
+/// 1 below [`crate::par::PAR_FLOP_THRESHOLD`] (fork/join overhead never
+/// touches small bond-update GEMMs), otherwise the `TT_NUM_THREADS`
+/// configuration capped by the machine share (see [`crate::par`]). The
+/// companion to [`kernel_choice`] for the parallel dispatch decision; the
+/// blocked engine applies the same policy internally.
+pub fn parallel_threads(m: usize, n: usize, k: usize) -> usize {
+    crate::par::planned_threads(gemm_flops(m, n, k))
+}
+
 /// `C = alpha * op(A) * op(B)`, allocating the result.
 pub fn gemm(ta: Trans, a: &Matrix, tb: Trans, b: &Matrix, alpha: f64) -> Matrix {
     gemm_alloc(ta, a.view(), tb, b.view(), alpha)
@@ -446,6 +456,16 @@ mod tests {
         let b = Matrix::zeros(3, 2);
         let c = gemm(Trans::No, &a, Trans::No, &b, 1.0);
         assert_eq!(c.shape(), (0, 2));
+    }
+
+    #[test]
+    fn parallel_dispatch_respects_threshold_and_override() {
+        // Small bond-update GEMMs never fan out…
+        assert_eq!(parallel_threads(32, 32, 32), 1);
+        // …and an explicit override forces the count regardless of size.
+        assert_eq!(crate::par::with_threads(4, || parallel_threads(8, 8, 8)), 4);
+        // Without an override, big multiplies are capped by configuration.
+        assert!(parallel_threads(512, 512, 512) <= crate::par::configured_threads());
     }
 
     #[test]

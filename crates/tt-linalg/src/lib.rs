@@ -31,6 +31,7 @@ pub mod chol;
 pub mod eig;
 pub mod gemm;
 pub mod matrix;
+pub mod par;
 pub mod paranoid;
 pub mod qr;
 pub mod reference;
@@ -44,8 +45,8 @@ pub use block::SyrkShape;
 pub use chol::{cholesky, pivoted_cholesky, PivotedCholesky};
 pub use eig::{eigh, EigH};
 pub use gemm::{
-    gemm, gemm_alloc, gemm_flops, gemm_into, gemm_v, kernel_choice, syrk, syrk_nt_v, syrk_v,
-    Kernel, Trans,
+    gemm, gemm_alloc, gemm_flops, gemm_into, gemm_v, kernel_choice, parallel_threads, syrk,
+    syrk_nt_v, syrk_v, Kernel, Trans,
 };
 pub use matrix::Matrix;
 pub use qr::{blocked_qr, householder_qr, householder_qr_unblocked, qr_stacked_pair, QrFactors};

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use crate::operator::TtOperator;
 use crate::precond::Preconditioner;
-use tt_core::round::{round_gram_seq_dist, round_gram_sim_dist, round_qr_dist};
+use tt_core::round::{round_gram_seq_dist_owned, round_gram_sim_dist_owned, round_qr_dist};
 use tt_core::{GramOrder, RoundingOptions, TtTensor};
 use tt_linalg::{householder_qr, solve_upper, Matrix};
 
@@ -31,13 +31,29 @@ pub enum RoundingMethod {
 impl RoundingMethod {
     /// Rounds `x` to relative accuracy `tol`.
     pub fn round(&self, x: &TtTensor, tol: f64) -> TtTensor {
+        match self {
+            // The Gram variants round in place on an owned train; cloning
+            // here (instead of inside) keeps a single copy for both paths.
+            RoundingMethod::Qr => {
+                let comm = tt_comm::SelfComm::new();
+                round_qr_dist(&comm, x, &RoundingOptions::with_tolerance(tol)).0
+            }
+            _ => self.round_owned(x.clone(), tol),
+        }
+    }
+
+    /// By-value variant of [`RoundingMethod::round`]: the Gram variants
+    /// consume `x` and round in place, skipping the full-train clone. Use
+    /// this whenever the unrounded tensor is discarded afterwards (every
+    /// solver inner loop).
+    pub fn round_owned(&self, x: TtTensor, tol: f64) -> TtTensor {
         let comm = tt_comm::SelfComm::new();
         let opts = RoundingOptions::with_tolerance(tol);
         match self {
-            RoundingMethod::Qr => round_qr_dist(&comm, x, &opts).0,
-            RoundingMethod::GramRlr => round_gram_seq_dist(&comm, x, &opts, GramOrder::Rlr).0,
-            RoundingMethod::GramLrl => round_gram_seq_dist(&comm, x, &opts, GramOrder::Lrl).0,
-            RoundingMethod::GramSim => round_gram_sim_dist(&comm, x, &opts).0,
+            RoundingMethod::Qr => round_qr_dist(&comm, &x, &opts).0,
+            RoundingMethod::GramRlr => round_gram_seq_dist_owned(&comm, x, &opts, GramOrder::Rlr).0,
+            RoundingMethod::GramLrl => round_gram_seq_dist_owned(&comm, x, &opts, GramOrder::Lrl).0,
+            RoundingMethod::GramSim => round_gram_sim_dist_owned(&comm, x, &opts).0,
         }
     }
 
@@ -189,7 +205,7 @@ pub fn tt_gmres(
         // Line 5: W = round(G M⁻¹ V_j, δ).
         let gv = op.apply(&precond.apply(&basis[j]));
         let t0 = Instant::now();
-        let mut w = opts.rounding.round(&gv, delta);
+        let mut w = opts.rounding.round_owned(gv, delta);
         let mut round_iter = t0.elapsed().as_secs_f64();
 
         // Lines 6–9: Gram–Schmidt orthogonalization with rounding. Alg. 1
@@ -213,7 +229,7 @@ pub fn tt_gmres(
                 scaled.scale(-hij);
                 let sum = w.add(&scaled);
                 let t0 = Instant::now();
-                w = opts.rounding.round(&sum, delta_orth);
+                w = opts.rounding.round_owned(sum, delta_orth);
                 round_iter += t0.elapsed().as_secs_f64();
             }
         }
@@ -280,7 +296,7 @@ pub fn tt_gmres(
         z
     });
     let t0 = Instant::now();
-    let w_sol = opts.rounding.round(&w_sol, opts.tolerance);
+    let w_sol = opts.rounding.round_owned(w_sol, opts.tolerance);
     rounding_seconds += t0.elapsed().as_secs_f64();
     // Undo the right preconditioning.
     let u = precond.apply(&w_sol);
@@ -358,7 +374,7 @@ fn tt_gmres_restarted(
             Some(prev) => {
                 let sum = prev.add(&du);
                 let t0 = Instant::now();
-                let rounded = opts.rounding.round(&sum, opts.tolerance);
+                let rounded = opts.rounding.round_owned(sum, opts.tolerance);
                 rounding_seconds += t0.elapsed().as_secs_f64();
                 rounded
             }
@@ -369,7 +385,7 @@ fn tt_gmres_restarted(
         let t0 = Instant::now();
         r = opts
             .rounding
-            .round(&diff, (opts.tolerance * 0.1).max(1e-14));
+            .round_owned(diff, (opts.tolerance * 0.1).max(1e-14));
         rounding_seconds += t0.elapsed().as_secs_f64();
         u = Some(new_u);
         rel = r.norm() / beta0;

@@ -80,7 +80,7 @@ pub fn tt_richardson(
     // u_0 = ω·M⁻¹F.
     let mut u = precond.apply(f);
     u.scale(opts.damping);
-    u = opts.rounding.round(&u, opts.rounding_tolerance);
+    u = opts.rounding.round_owned(u, opts.rounding_tolerance);
 
     let mut residuals = Vec::new();
     let mut ranks = Vec::new();
@@ -92,7 +92,7 @@ pub fn tt_richardson(
         let gu = op.apply(&u);
         let r = f.sub(&gu);
         let tr = Instant::now();
-        let r = opts.rounding.round(&r, opts.rounding_tolerance);
+        let r = opts.rounding.round_owned(r, opts.rounding_tolerance);
         rounding_seconds += tr.elapsed().as_secs_f64();
         let rel = r.norm() / fnorm;
         residuals.push(rel);
@@ -106,7 +106,7 @@ pub fn tt_richardson(
         corr.scale(opts.damping);
         let next = u.add(&corr);
         let tr = Instant::now();
-        u = opts.rounding.round(&next, opts.rounding_tolerance);
+        u = opts.rounding.round_owned(next, opts.rounding_tolerance);
         rounding_seconds += tr.elapsed().as_secs_f64();
     }
 

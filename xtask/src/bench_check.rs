@@ -38,6 +38,13 @@ struct Entry {
 const REGRESSION_FACTOR: f64 = 1.15;
 /// Required blocked-over-reference GEMM speedup at the calibration size.
 const GEMM_SPEEDUP_FLOOR: f64 = 1.5;
+/// Required 4-thread-over-1-thread GEMM speedup at 512³, enforced only on
+/// machines with at least [`PAR_MIN_HW_THREADS`] hardware threads (forcing
+/// 4 pool threads onto fewer cores measures oversubscription, not the
+/// parallel layer).
+const PAR_GEMM_SPEEDUP_FLOOR: f64 = 2.0;
+/// Hardware-thread count below which the parallel speedup floor is skipped.
+const PAR_MIN_HW_THREADS: usize = 4;
 /// Full bench-suite re-runs allowed before a timing-gate failure is final.
 const MAX_ATTEMPTS: usize = 3;
 
@@ -60,14 +67,56 @@ const PAIRS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// The 4-thread/1-thread pairs of the shared-memory parallel layer
+/// (`tt_linalg::par`). Only the GEMM pair carries a speedup floor; the rest
+/// ride the regression gate via `results/BENCH_kernels_par.json`.
+const PAR_PAIRS: &[(&str, &str, &str)] = &[
+    (
+        "par gemm 512^3",
+        "kernels_par_gemm_4t/512",
+        "kernels_par_gemm_1t/512",
+    ),
+    (
+        "par syrk 60000x64",
+        "kernels_par_syrk_4t/60000x64",
+        "kernels_par_syrk_1t/60000x64",
+    ),
+    (
+        "par qr 8000x128",
+        "kernels_par_qr_4t/8000x128",
+        "kernels_par_qr_1t/8000x128",
+    ),
+];
+
+/// Id prefix routing an entry to the parallel-layer baseline file.
+const PAR_PREFIX: &str = "kernels_par_";
+
+/// Whether this machine has enough hardware threads to make the 4-thread
+/// speedup floor meaningful.
+fn par_floor_enforceable() -> bool {
+    std::thread::available_parallelism()
+        .map(|n| n.get() >= PAR_MIN_HW_THREADS)
+        .unwrap_or(false)
+}
+
 /// Entry point for the `bench-check` subcommand.
 pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
     let record = args.iter().any(|a| a == "--record");
     let json_path = repo.join("target/bench-kernels.jsonl");
     let baseline_path = repo.join("results/BENCH_kernels.json");
+    let baseline_par_path = repo.join("results/BENCH_kernels_par.json");
     let baseline = std::fs::read_to_string(&baseline_path)
         .ok()
         .map(|text| parse_entries(&text));
+    let baseline_par = std::fs::read_to_string(&baseline_par_path)
+        .ok()
+        .map(|text| parse_entries(&text));
+    let enforce_par = par_floor_enforceable();
+    if !enforce_par {
+        eprintln!(
+            "bench-check: fewer than {PAR_MIN_HW_THREADS} hardware threads; the {PAR_GEMM_SPEEDUP_FLOOR}x parallel GEMM floor is skipped on this machine"
+        );
+    }
 
     // Best-of-up-to-MAX_ATTEMPTS: retry the whole suite while a *timing*
     // gate fails, keeping each benchmark's best time across attempts. A
@@ -83,7 +132,14 @@ pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
             }
         };
         merge_best(&mut merged, run);
-        let failures = evaluate(&merged, baseline.as_deref(), record, false);
+        let failures = evaluate(
+            &merged,
+            baseline.as_deref(),
+            baseline_par.as_deref(),
+            record,
+            enforce_par,
+            false,
+        );
         if failures.is_empty() || !retryable(&failures) {
             break;
         }
@@ -94,27 +150,48 @@ pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
         }
     }
 
-    let failures = evaluate(&merged, baseline.as_deref(), record, true);
+    let failures = evaluate(
+        &merged,
+        baseline.as_deref(),
+        baseline_par.as_deref(),
+        record,
+        enforce_par,
+        true,
+    );
     if baseline.is_none() && !record {
         eprintln!(
             "bench-check: no baseline at {}; recording one from this run",
             baseline_path.display()
         );
     }
-
-    // Record the baseline when asked to (or when none exists yet).
-    if failures.is_empty() && (record || baseline.is_none()) {
-        if record {
-            eprintln!("bench-check: --record: rewriting baseline");
-        }
-        if let Err(e) = write_baseline(&baseline_path, &merged) {
-            eprintln!("bench-check FAILURE: could not write baseline: {e}");
-            return ExitCode::FAILURE;
-        }
+    if baseline_par.is_none() && !record {
         eprintln!(
-            "bench-check: baseline written to {}",
-            baseline_path.display()
+            "bench-check: no parallel baseline at {}; recording one from this run",
+            baseline_par_path.display()
         );
+    }
+
+    // Record the baselines when asked to (or when either is missing). The
+    // merged results are split by id prefix: `kernels_par_*` entries go to
+    // the parallel-layer file, the rest to the serial-kernel file.
+    let (par_entries, serial_entries): (Vec<Entry>, Vec<Entry>) = merged
+        .iter()
+        .cloned()
+        .partition(|e| e.id.starts_with(PAR_PREFIX));
+    if failures.is_empty() && (record || baseline.is_none() || baseline_par.is_none()) {
+        if record {
+            eprintln!("bench-check: --record: rewriting baselines");
+        }
+        for (path, entries) in [
+            (&baseline_path, &serial_entries),
+            (&baseline_par_path, &par_entries),
+        ] {
+            if let Err(e) = write_baseline(path, entries) {
+                eprintln!("bench-check FAILURE: could not write baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("bench-check: baseline written to {}", path.display());
+        }
     }
 
     if failures.is_empty() {
@@ -182,7 +259,9 @@ fn retryable(failures: &[String]) -> bool {
 fn evaluate(
     current: &[Entry],
     baseline: Option<&[Entry]>,
+    baseline_par: Option<&[Entry]>,
     record: bool,
+    enforce_par: bool,
     verbose: bool,
 ) -> Vec<String> {
     let mut failures: Vec<String> = Vec::new();
@@ -210,10 +289,45 @@ fn evaluate(
         }
     }
 
-    // 2. Regression gate vs the recorded baseline (skipped when recording).
-    if let (Some(base), false) = (baseline, record) {
+    // 2. Parallel-layer 4-thread-over-1-thread speedups. The GEMM floor is
+    //    hardware-gated: on a box with < 4 hardware threads the forced
+    //    4-thread pool measures oversubscription, so only report.
+    for &(label, par_id, serial_id) in PAR_PAIRS {
+        match (find(current, par_id), find(current, serial_id)) {
+            (Some(p), Some(s)) => {
+                let speedup = s.min_ns as f64 / p.min_ns.max(1) as f64;
+                if verbose {
+                    eprintln!(
+                        "bench-check: {label:<18} 4t {:>12} ns  1t {:>12} ns  speedup {speedup:.2}x{}",
+                        p.min_ns,
+                        s.min_ns,
+                        if enforce_par { "" } else { "  (floor skipped)" }
+                    );
+                }
+                if enforce_par && label.starts_with("par gemm") && speedup < PAR_GEMM_SPEEDUP_FLOOR
+                {
+                    failures.push(format!(
+                        "parallel GEMM speedup {speedup:.2}x at 4 threads is below the {PAR_GEMM_SPEEDUP_FLOOR}x floor at 512^3"
+                    ));
+                }
+            }
+            _ => failures.push(format!(
+                "missing bench results for {label} ({par_id} / {serial_id})"
+            )),
+        }
+    }
+
+    // 3. Regression gate vs the recorded baselines (skipped when
+    //    recording). Each entry checks against the baseline file it is
+    //    recorded in: `kernels_par_*` ids against the parallel baseline.
+    if !record {
         for cur in current {
-            let Some(prev) = find(base, &cur.id) else {
+            let base_for_id = if cur.id.starts_with(PAR_PREFIX) {
+                baseline_par
+            } else {
+                baseline
+            };
+            let Some(prev) = base_for_id.and_then(|base| find(base, &cur.id)) else {
                 if verbose {
                     eprintln!("bench-check: {} has no baseline entry (new bench)", cur.id);
                 }
@@ -396,18 +510,41 @@ mod tests {
         assert!(retryable(&[]));
     }
 
-    #[test]
-    fn evaluate_flags_regressions_against_the_baseline() {
-        let current = vec![
+    /// A full result set covering every serial and parallel pair, with a
+    /// comfortably passing 4-thread GEMM speedup (2.5x).
+    fn full_current() -> Vec<Entry> {
+        vec![
             entry("kernels_gemm_blocked/256", 120, 100),
             entry("kernels_gemm_reference/256", 240, 200),
             entry("kernels_syrk_blocked/40000x20", 120, 100),
             entry("kernels_syrk_reference/40000x20", 150, 130),
             entry("kernels_qr_blocked/4000x32", 120, 100),
             entry("kernels_qr_unblocked/4000x32", 130, 110),
-        ];
+            entry("kernels_par_gemm_4t/512", 500, 400),
+            entry("kernels_par_gemm_1t/512", 1200, 1000),
+            entry("kernels_par_syrk_4t/60000x64", 300, 250),
+            entry("kernels_par_syrk_1t/60000x64", 700, 600),
+            entry("kernels_par_qr_4t/8000x128", 900, 800),
+            entry("kernels_par_qr_1t/8000x128", 1300, 1200),
+        ]
+    }
+
+    /// Splits a result set the way the recorder does: serial entries vs
+    /// `kernels_par_*` entries.
+    fn split(entries: &[Entry]) -> (Vec<Entry>, Vec<Entry>) {
+        let (par, serial): (Vec<Entry>, Vec<Entry>) = entries
+            .iter()
+            .cloned()
+            .partition(|e| e.id.starts_with(PAR_PREFIX));
+        (serial, par)
+    }
+
+    #[test]
+    fn evaluate_flags_regressions_against_the_baseline() {
+        let current = full_current();
+        let (serial, par) = split(&current);
         // Same numbers as baseline: everything passes.
-        assert!(evaluate(&current, Some(&current), false, false).is_empty());
+        assert!(evaluate(&current, Some(&serial), Some(&par), false, true, false).is_empty());
         // One entry >15% slower than its baseline: exactly one failure.
         let mut slow = current.clone();
         if let Some(e) = slow
@@ -416,11 +553,11 @@ mod tests {
         {
             e.min_ns = 120;
         }
-        let failures = evaluate(&slow, Some(&current), false, false);
+        let failures = evaluate(&slow, Some(&serial), Some(&par), false, true, false);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("kernels_qr_blocked/4000x32"));
         // Recording skips the regression gate entirely.
-        assert!(evaluate(&slow, Some(&current), true, false).is_empty());
+        assert!(evaluate(&slow, Some(&serial), Some(&par), true, true, false).is_empty());
         // A GEMM speedup below the floor fails even with no baseline.
         let mut slow_gemm = current.clone();
         if let Some(e) = slow_gemm
@@ -429,8 +566,57 @@ mod tests {
         {
             e.min_ns = 150;
         }
-        let failures = evaluate(&slow_gemm, None, false, false);
+        let failures = evaluate(&slow_gemm, None, None, false, true, false);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("below the 1.5x floor"));
+    }
+
+    #[test]
+    fn par_regressions_check_against_the_par_baseline() {
+        let current = full_current();
+        let (serial, par) = split(&current);
+        // A parallel entry regressing is caught via the par baseline...
+        let mut slow = current.clone();
+        if let Some(e) = slow
+            .iter_mut()
+            .find(|e| e.id == "kernels_par_syrk_4t/60000x64")
+        {
+            e.min_ns = 400;
+        }
+        let failures = evaluate(&slow, Some(&serial), Some(&par), false, true, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("kernels_par_syrk_4t/60000x64"));
+        // ...and is invisible to a serial-only baseline (new bench, no gate).
+        assert!(evaluate(&slow, Some(&serial), None, false, true, false).is_empty());
+    }
+
+    #[test]
+    fn par_gemm_floor_is_hardware_gated() {
+        // 1.25x at 4 threads: under the 2.0x floor.
+        let mut current = full_current();
+        if let Some(e) = current
+            .iter_mut()
+            .find(|e| e.id == "kernels_par_gemm_4t/512")
+        {
+            e.min_ns = 800;
+        }
+        let (serial, par) = split(&current);
+        let failures = evaluate(&current, Some(&serial), Some(&par), true, true, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("below the 2x floor"));
+        // On a small machine (enforce_par = false) the floor is skipped.
+        assert!(evaluate(&current, Some(&serial), Some(&par), true, false, false).is_empty());
+    }
+
+    #[test]
+    fn missing_par_results_are_structural_failures() {
+        let current: Vec<Entry> = full_current()
+            .into_iter()
+            .filter(|e| e.id != "kernels_par_gemm_1t/512")
+            .collect();
+        let failures = evaluate(&current, None, None, true, false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing bench results for par gemm 512^3"));
+        assert!(!retryable(&failures));
     }
 }

@@ -14,6 +14,7 @@ pub mod float_discipline;
 pub mod p2p_pairing;
 pub mod panic_surface;
 pub mod rank_collective;
+pub mod thread_discipline;
 
 /// One finding of one pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(float_discipline::FloatCmp),
         Box::new(float_discipline::NarrowCast),
         Box::new(panic_surface::PanicSurface),
+        Box::new(thread_discipline::ThreadDiscipline),
     ]
 }
 

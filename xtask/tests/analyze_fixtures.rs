@@ -76,6 +76,28 @@ fn panic_surface_fires_on_fixture() {
 }
 
 #[test]
+fn thread_discipline_fires_on_fixture() {
+    // The golden file covers both detached-spawn forms and all three lock
+    // types; the fixture also pins the silent cases (scoped fork/join and
+    // `.spawn()` on a non-`thread` receiver).
+    let report = run("thread_discipline_fires.rs");
+    assert!(
+        report.errors.is_empty(),
+        "unexpected suppression errors: {:?}",
+        report.errors
+    );
+    let got: Vec<(usize, String)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.pass.to_string()))
+        .collect();
+    assert_eq!(got, golden("thread_discipline_fires.rs"));
+    // The documented logger-thread suppression must be consumed, not spare.
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused.is_empty());
+}
+
+#[test]
 fn clean_fixture_is_silent() {
     let report = run("clean.rs");
     assert!(
@@ -143,12 +165,15 @@ fn whole_fixture_directory_aggregates() {
         "float_cmp_fires.rs",
         "narrow_cast_fires.rs",
         "panic_surface_fires.rs",
+        "thread_discipline_fires.rs",
     ]
     .iter()
     .map(|f| golden(f).len())
     .sum();
     assert_eq!(report.diagnostics.len(), expected_diags);
-    assert_eq!(report.suppressed, 2);
+    // Two in suppressed.rs plus the logger-thread one in the
+    // thread_discipline fixture.
+    assert_eq!(report.suppressed, 3);
     assert_eq!(report.unused.len(), 1);
     assert_eq!(report.errors.len(), 2);
     assert_eq!(report.files, files.len());

@@ -1,0 +1,68 @@
+//! Fixture: every construct `thread_discipline` flags, plus the scoped
+//! fork/join shape it sanctions (which must stay silent), plus a
+//! documented suppression of the detached-spawn rule.
+
+use std::sync::Mutex;
+use std::thread;
+
+pub fn detached_worker() {
+    let handle = thread::spawn(|| 1 + 1);
+    drop(handle);
+}
+
+pub fn fully_qualified_detached() {
+    std::thread::spawn(|| ());
+}
+
+pub struct LockedAccumulator {
+    total: Mutex<f64>,
+}
+
+pub fn guarded(x: &std::sync::RwLock<Vec<f64>>) -> usize {
+    x.read().map(|v| v.len()).unwrap_or(0)
+}
+
+pub fn waits(cv: &std::sync::Condvar) {
+    let _ = cv;
+}
+
+/// Scoped fork/join over disjoint chunks: the sanctioned shape — silent.
+pub fn scoped_is_fine(data: &mut [f64]) {
+    thread::scope(|s| {
+        for chunk in data.chunks_mut(4) {
+            s.spawn(move || {
+                for x in chunk {
+                    *x += 1.0;
+                }
+            });
+        }
+    });
+}
+
+/// A `spawn` method on a non-`thread` receiver is not the detached form.
+pub fn pool_spawn_method(pool: &ScopedPool) {
+    pool.spawn(|| ());
+}
+
+pub struct ScopedPool;
+
+impl ScopedPool {
+    pub fn spawn<F: FnOnce()>(&self, f: F) {
+        f();
+    }
+}
+
+pub fn logger_thread() {
+    // analyze::allow(thread_discipline): log drain thread is joined in Drop and touches no numeric state
+    thread::spawn(|| ());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m = std::sync::Mutex::new(0);
+        let t = std::thread::spawn(|| ());
+        let _ = (m, t.join());
+    }
+}
