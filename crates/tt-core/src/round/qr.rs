@@ -97,7 +97,8 @@ pub fn round_qr_dist(
         *y.core_mut(k) = TtCore::from_h(new_ht.transpose(), l, i, r1);
 
         // Line 12: V(T_Y,k-1) ← V(T_Y,k-1) · V̂ Σ̂ — communication-free.
-        let mut vs = t.v.clone();
+        // `t.v` is dead after this bond; move it out instead of cloning.
+        let mut vs = t.v;
         for (j, &s) in t.singular_values.iter().enumerate() {
             vs.scale_col(j, s);
         }

@@ -203,12 +203,14 @@ fn local_sketch(
                 crate::dist::block_range(global_dims[k], p, rank)
             };
             let mut core = TtCore::zeros(full[k], range.len(), full[k + 1]);
+            // One slice buffer per core, reused across rows:
+            // `fill_standard_normal` overwrites every entry.
+            let mut slice = vec![0.0; full[k] * full[k + 1]];
             for (local_i, glob_i) in range.enumerate() {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     seed ^ (k as u64).wrapping_mul(0x9e3779b97f4a7c15)
                         ^ (glob_i as u64).wrapping_mul(0xd1b54a32d192ed03),
                 );
-                let mut slice = vec![0.0; full[k] * full[k + 1]];
                 tt_linalg::rng::fill_standard_normal(&mut slice, &mut rng);
                 for b in 0..full[k + 1] {
                     for a in 0..full[k] {

@@ -209,6 +209,10 @@ pub fn gemm_accumulate(
         offset = hi;
         jobs.push(move || {
             let mut chunk = chunk;
+            // analyze::allow(alloc_hot_path): each worker packs into
+            // thread-private buffers allocated once per kernel invocation
+            // and amortized over its whole blocked sweep; sharing one
+            // buffer across concurrent workers would race.
             gemm_sweep(ta, a, tb, b, alpha, &mut chunk, lo);
         });
     }
@@ -349,6 +353,9 @@ pub fn syrk(a: MatRef<'_>, alpha: f64, shape: SyrkShape) -> Matrix {
                 offset = hi;
                 jobs.push(move || {
                     let mut chunk = chunk;
+                    // analyze::allow(alloc_hot_path): thread-private packing
+                    // buffers, one allocation per worker per invocation,
+                    // amortized over the whole triangle sweep.
                     syrk_sweep(ta, a, tb, alpha, &mut chunk, lo);
                 });
             }

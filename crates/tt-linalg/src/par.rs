@@ -79,6 +79,10 @@ thread_local! {
 pub fn configured_threads() -> usize {
     static CONFIGURED: OnceLock<usize> = OnceLock::new();
     *CONFIGURED.get_or_init(|| {
+        // analyze::allow(determinism): TT_NUM_THREADS selects the worker
+        // partition only; the output-block contract (DESIGN.md §9) makes
+        // every partition produce bit-identical results, so the environment
+        // can change scheduling but never values.
         std::env::var("TT_NUM_THREADS")
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
@@ -92,6 +96,9 @@ pub fn configured_threads() -> usize {
 pub fn hardware_threads() -> usize {
     static HW: OnceLock<usize> = OnceLock::new();
     *HW.get_or_init(|| {
+        // analyze::allow(determinism): the hardware count only caps the
+        // worker partition (oversubscription guard); by the output-block
+        // contract (DESIGN.md §9) the partition never affects the bits.
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)

@@ -111,6 +111,7 @@ pub fn blocked_qr(a: &Matrix, nb: usize) -> QrFactors {
     let k = m.min(n);
     let mut tau = vec![0.0; k];
     let mut work = vec![0.0; n];
+    let mut twork = vec![0.0; nb.min(k)];
     let mut panels = Vec::with_capacity(k.div_ceil(nb));
 
     for j0 in (0..k).step_by(nb) {
@@ -126,7 +127,7 @@ pub fn blocked_qr(a: &Matrix, nb: usize) -> QrFactors {
             f[(j, j)] = beta;
         }
         // Aggregate the panel's reflectors: Q_panel = I − V T Vᵀ.
-        let t = build_t(&f, j0, jb, &tau[j0..j0 + jb]);
+        let t = build_t(&f, j0, jb, &tau[j0..j0 + jb], &mut twork[..jb]);
         // Trailing update with Qᵀ_panel = I − V Tᵀ Vᵀ:
         //   C := C − V · Tᵀ · (Vᵀ C)   for C = f[j0.., j0+jb..].
         if j0 + jb < n {
@@ -354,10 +355,14 @@ fn apply_stored_reflector(stored: &Matrix, j: usize, tau: f64, b: &mut Matrix, w
 /// `larft`-style forward-columnwise `T` recurrence for one panel:
 /// `H_{j0} H_{j0+1} … = I − V T Vᵀ` with `T` upper triangular,
 /// `T[i][i] = τᵢ` and `T[0..i, i] = −τᵢ · T[0..i, 0..i] · (Vᵀ vᵢ)`.
-fn build_t(f: &Matrix, j0: usize, jb: usize, tau: &[f64]) -> Matrix {
+///
+/// `w` is caller-provided workspace of length `jb` (column `i` writes
+/// `w[0..i]` before reading it, so no zeroing between panels is needed);
+/// the returned `T` itself escapes into the factorization's panel list.
+fn build_t(f: &Matrix, j0: usize, jb: usize, tau: &[f64], w: &mut [f64]) -> Matrix {
     let m = f.rows();
+    debug_assert_eq!(w.len(), jb);
     let mut t = Matrix::zeros(jb, jb);
-    let mut w = vec![0.0; jb];
     for i in 0..jb {
         let ti = tau[i];
         if ti == 0.0 {

@@ -1,0 +1,442 @@
+//! Content-hash cache for per-file analysis records (DESIGN.md §10).
+//!
+//! The analyzer runs on every push from the CI lint job, and with the
+//! interprocedural layer it now scans the whole workspace *and* builds a
+//! call graph per run. The graph build and fact propagation are cheap
+//! (linear in summaries); the expensive part is per-file — reading,
+//! scanning, running the per-file passes. Those results depend only on the
+//! file's bytes and the analyzer version, so they cache perfectly:
+//!
+//! * key — FNV-1a 64 hash of the file content, salted with
+//!   [`CACHE_VERSION`] (bump it whenever scanner/pass/summary semantics
+//!   change, so stale records self-invalidate);
+//! * value — the full [`FileRecord`]: the call-graph
+//!   [`FileSummary`], the per-file pass diagnostics, the parsed
+//!   suppressions, and any suppression errors;
+//! * location — `target/analyze-cache/<mangled-rel-path>.rec`, one file
+//!   per source file so a single edit invalidates exactly one record.
+//!
+//! The format is a line-based, tab-separated text serialization (no serde
+//! in-tree, same constraint as the JSON report writer). *Any* anomaly while
+//! parsing — wrong header, unknown record tag, unknown pass name, short
+//! row — degrades to a cache miss, never to an error: the cache is purely
+//! an accelerator and the analyzer must behave identically with it cold,
+//! warm, or corrupted. `--stats` reports the hit/miss split so the warm-run
+//! speedup is visible, and `--no-cache` bypasses it entirely.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::analyze::Suppression;
+use crate::callgraph::{CallSite, Evidence, FileSummary, FnSummary};
+use crate::passes::{all_pass_names, Diagnostic};
+
+/// Serialization-format / analysis-semantics version. Part of the hash
+/// salt: bump on any change to the scanner, the summary extraction, or a
+/// per-file pass, and every existing record becomes a miss.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Everything the per-file stage of the analysis produces for one source
+/// file — exactly what the workspace stage (graph build + reconciliation)
+/// consumes, so a cache hit skips the file read-scan-summarize-pass work
+/// entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileRecord {
+    /// Call-graph summary (carries the repo-relative path).
+    pub summary: FileSummary,
+    /// Per-file pass findings (pre-suppression).
+    pub findings: Vec<Diagnostic>,
+    /// Parsed suppression annotations.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed-suppression errors.
+    pub errors: Vec<String>,
+}
+
+/// Default cache directory under the build tree.
+pub fn default_cache_dir(repo: &Path) -> PathBuf {
+    repo.join("target").join("analyze-cache")
+}
+
+/// FNV-1a 64-bit content hash (tiny, dependency-free, and stable across
+/// platforms — collision resistance is not a goal; a collision merely
+/// serves a stale record for one file until its next edit).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Record path for one source file: the relative path with separators
+/// mangled so every record is a flat sibling.
+fn record_path(dir: &Path, rel: &str) -> PathBuf {
+    let mangled: String = rel
+        .chars()
+        .map(|c| if c == '/' || c == '\\' { '+' } else { c })
+        .collect();
+    dir.join(format!("{mangled}.rec"))
+}
+
+/// Loads the cached record for `rel` if one exists and its stored hash
+/// matches `src`. Every failure mode is a `None` (see module docs).
+pub fn load(dir: &Path, rel: &str, src: &str) -> Option<FileRecord> {
+    let text = std::fs::read_to_string(record_path(dir, rel)).ok()?;
+    let mut lines = text.lines();
+    let expect = format!(
+        "analyze-cache v{CACHE_VERSION} {:016x}",
+        fnv1a64(src.as_bytes())
+    );
+    if lines.next() != Some(expect.as_str()) {
+        return None;
+    }
+    parse_record(rel, lines)
+}
+
+/// Writes the record for `rel`. I/O errors propagate (the driver reports
+/// them as warnings, not failures).
+pub fn store(dir: &Path, rel: &str, src: &str, rec: &FileRecord) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "analyze-cache v{CACHE_VERSION} {:016x}\n",
+        fnv1a64(src.as_bytes())
+    ));
+    write_record(&mut out, rec);
+    // Write-then-rename so a crashed run cannot leave a torn record that
+    // parses (any torn state fails the parse and degrades to a miss; the
+    // rename just avoids even that window).
+    let path = record_path(dir, rel);
+    let tmp = path.with_extension("rec.tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, &path)
+}
+
+/// Escapes one field for the tab-separated format.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`esc`]; `None` on a dangling escape.
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn write_record(out: &mut String, rec: &FileRecord) {
+    use std::fmt::Write as _;
+    let s = &rec.summary;
+    for (name, path) in &s.uses {
+        let _ = write!(out, "use\t{}", esc(name));
+        for seg in path {
+            let _ = write!(out, "\t{}", esc(seg));
+        }
+        out.push('\n');
+    }
+    for f in &s.fns {
+        let _ = writeln!(out, "fn\t{}\t{}", esc(&f.name), f.line);
+        for c in &f.calls {
+            let _ = writeln!(
+                out,
+                "call\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                esc(&c.callee),
+                c.qualifier
+                    .as_deref()
+                    .map(esc)
+                    .unwrap_or_else(|| "-".to_string()),
+                u8::from(c.is_method),
+                c.line,
+                u8::from(c.in_rank_cond),
+                c.after_rank_return
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                u8::from(c.in_loop),
+            );
+        }
+        if let Some(e) = &f.collective {
+            let _ = writeln!(out, "coll\t{}\t{}", esc(&e.what), e.line);
+        }
+        for e in &f.nondet {
+            let _ = writeln!(out, "nondet\t{}\t{}", esc(&e.what), e.line);
+        }
+        for (e, in_loop) in &f.allocs {
+            let _ = writeln!(
+                out,
+                "alloc\t{}\t{}\t{}",
+                esc(&e.what),
+                e.line,
+                u8::from(*in_loop)
+            );
+        }
+    }
+    for d in &rec.findings {
+        let _ = writeln!(
+            out,
+            "diag\t{}\t{}\t{}",
+            esc(d.pass),
+            d.line,
+            esc(&d.message)
+        );
+    }
+    for sp in &rec.suppressions {
+        let _ = writeln!(
+            out,
+            "sup\t{}\t{}\t{}\t{}",
+            esc(&sp.pass),
+            esc(&sp.reason),
+            sp.target_line,
+            sp.comment_line
+        );
+    }
+    for e in &rec.errors {
+        let _ = writeln!(out, "err\t{}", esc(e));
+    }
+}
+
+fn parse_record<'a>(rel: &str, lines: impl Iterator<Item = &'a str>) -> Option<FileRecord> {
+    let pass_names = all_pass_names();
+    let mut rec = FileRecord {
+        summary: FileSummary {
+            path: rel.to_string(),
+            ..FileSummary::default()
+        },
+        findings: Vec::new(),
+        suppressions: Vec::new(),
+        errors: Vec::new(),
+    };
+    for line in lines {
+        let mut fields = line.split('\t');
+        match fields.next()? {
+            "use" => {
+                let name = unesc(fields.next()?)?;
+                let path: Option<Vec<String>> = fields.map(unesc).collect();
+                rec.summary.uses.insert(name, path?);
+            }
+            "fn" => {
+                rec.summary.fns.push(FnSummary {
+                    name: unesc(fields.next()?)?,
+                    line: fields.next()?.parse().ok()?,
+                    calls: Vec::new(),
+                    collective: None,
+                    nondet: Vec::new(),
+                    allocs: Vec::new(),
+                });
+            }
+            "call" => {
+                let f = rec.summary.fns.last_mut()?;
+                let callee = unesc(fields.next()?)?;
+                let qual_raw = fields.next()?;
+                let qualifier = if qual_raw == "-" {
+                    None
+                } else {
+                    Some(unesc(qual_raw)?)
+                };
+                let is_method = fields.next()? == "1";
+                let line = fields.next()?.parse().ok()?;
+                let in_rank_cond = fields.next()? == "1";
+                let ret_raw = fields.next()?;
+                let after_rank_return = if ret_raw == "-" {
+                    None
+                } else {
+                    Some(ret_raw.parse().ok()?)
+                };
+                let in_loop = fields.next()? == "1";
+                f.calls.push(CallSite {
+                    callee,
+                    qualifier,
+                    is_method,
+                    line,
+                    in_rank_cond,
+                    after_rank_return,
+                    in_loop,
+                });
+            }
+            "coll" => {
+                let f = rec.summary.fns.last_mut()?;
+                f.collective = Some(Evidence {
+                    what: unesc(fields.next()?)?,
+                    line: fields.next()?.parse().ok()?,
+                });
+            }
+            "nondet" => {
+                let f = rec.summary.fns.last_mut()?;
+                f.nondet.push(Evidence {
+                    what: unesc(fields.next()?)?,
+                    line: fields.next()?.parse().ok()?,
+                });
+            }
+            "alloc" => {
+                let f = rec.summary.fns.last_mut()?;
+                let what = unesc(fields.next()?)?;
+                let line = fields.next()?.parse().ok()?;
+                let in_loop = fields.next()? == "1";
+                f.allocs.push((Evidence { what, line }, in_loop));
+            }
+            "diag" => {
+                // `Diagnostic.pass` is `&'static str`: map the stored name
+                // back through the registry; an unknown name means the pass
+                // set changed under an unbumped version — treat as a miss.
+                let stored = unesc(fields.next()?)?;
+                let pass = pass_names.iter().find(|n| **n == stored)?;
+                rec.findings.push(Diagnostic {
+                    pass,
+                    file: rel.to_string(),
+                    line: fields.next()?.parse().ok()?,
+                    message: unesc(fields.next()?)?,
+                });
+            }
+            "sup" => {
+                rec.suppressions.push(Suppression {
+                    pass: unesc(fields.next()?)?,
+                    reason: unesc(fields.next()?)?,
+                    target_line: fields.next()?.parse().ok()?,
+                    comment_line: fields.next()?.parse().ok()?,
+                });
+            }
+            "err" => {
+                rec.errors.push(unesc(fields.next()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> FileRecord {
+        let mut summary = FileSummary {
+            path: "crates/x/src/lib.rs".to_string(),
+            ..FileSummary::default()
+        };
+        summary.uses.insert(
+            "gemm_v".to_string(),
+            vec!["tt_linalg".to_string(), "gemm".to_string()],
+        );
+        summary.fns.push(FnSummary {
+            name: "round_x".to_string(),
+            line: 3,
+            calls: vec![CallSite {
+                callee: "helper".to_string(),
+                qualifier: Some("a::b".to_string()),
+                is_method: false,
+                line: 5,
+                in_rank_cond: true,
+                after_rank_return: Some(4),
+                in_loop: true,
+            }],
+            collective: Some(Evidence {
+                what: "`.barrier()`".to_string(),
+                line: 6,
+            }),
+            nondet: vec![Evidence {
+                what: "`HashMap` (nondeterministic iteration order)".to_string(),
+                line: 7,
+            }],
+            allocs: vec![(
+                Evidence {
+                    what: "`Vec::new`".to_string(),
+                    line: 8,
+                },
+                true,
+            )],
+        });
+        FileRecord {
+            summary,
+            findings: vec![Diagnostic {
+                pass: "rank_collective",
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 6,
+                message: "tab\there \"and\" newline\nthere".to_string(),
+            }],
+            suppressions: vec![Suppression {
+                pass: "panic_surface".to_string(),
+                reason: "backslash \\ reason".to_string(),
+                target_line: 9,
+                comment_line: 9,
+            }],
+            errors: vec!["some\terror".to_string()],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let rec = sample_record();
+        let mut text = String::new();
+        write_record(&mut text, &rec);
+        let parsed = parse_record("crates/x/src/lib.rs", text.lines()).expect("parse");
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn store_and_load_hit_on_same_content_miss_on_different() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../target/analyze-cache-unit-test");
+        let rec = sample_record();
+        store(&dir, "crates/x/src/lib.rs", "fn round_x() {}", &rec).expect("store");
+        let hit = load(&dir, "crates/x/src/lib.rs", "fn round_x() {}");
+        assert_eq!(hit, Some(rec));
+        assert_eq!(load(&dir, "crates/x/src/lib.rs", "fn round_x() { }"), None);
+        assert_eq!(load(&dir, "crates/other.rs", "fn round_x() {}"), None);
+    }
+
+    #[test]
+    fn corrupt_records_degrade_to_miss() {
+        for text in [
+            "",
+            "analyze-cache v0 0000000000000000",
+            "bogus header\nfn\tx\t1",
+        ] {
+            assert!(parse_header_and_record(text).is_none());
+        }
+        // Valid header, garbage body.
+        assert!(parse_record("x.rs", "call\tmissing\tfields".lines()).is_none());
+        assert!(parse_record("x.rs", "unknown_tag\tx".lines()).is_none());
+        assert!(parse_record("x.rs", "fn\tbad_line\tnot_a_number".lines()).is_none());
+        // Records for fn-scoped rows with no preceding fn.
+        assert!(parse_record("x.rs", "nondet\tx\t1".lines()).is_none());
+    }
+
+    fn parse_header_and_record(text: &str) -> Option<FileRecord> {
+        let mut lines = text.lines();
+        let first = lines.next()?;
+        if !first.starts_with(&format!("analyze-cache v{CACHE_VERSION} ")) {
+            return None;
+        }
+        parse_record("x.rs", lines)
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

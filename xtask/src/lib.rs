@@ -16,8 +16,11 @@
 
 pub mod analyze;
 pub mod bench_check;
+pub mod cache;
+pub mod callgraph;
 pub mod lint;
 pub mod passes;
+pub mod sarif;
 pub mod scanner;
 
 use std::path::{Path, PathBuf};

@@ -30,8 +30,10 @@ fn usage() {
     eprintln!(
         "usage: cargo xtask <task>\n\ntasks:\n  \
          lint                   rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit\n  \
-         analyze [flags]        SPMD collective-safety + numeric-discipline passes over library sources\n                         \
-         (--format text|json, --list-passes, --no-check-suppressions; suppress with `// analyze::allow(<pass>): reason`)\n  \
+         analyze [flags]        SPMD collective-safety + numeric-discipline passes over library sources,\n                         \
+         including the interprocedural call-graph passes (collective_order, determinism, alloc_hot_path)\n                         \
+         (--format text|json|sarif, --list-passes, --stats, --jobs N, --no-cache,\n                         \
+         --no-check-suppressions; suppress with `// analyze::allow(<pass>): reason`)\n  \
          bench-check [--record] run kernels_* benches; gate blocked-GEMM speedup and >15% regressions vs results/BENCH_kernels.json"
     );
 }

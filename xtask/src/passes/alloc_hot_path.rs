@@ -1,0 +1,110 @@
+//! Pass `alloc_hot_path`: per-iteration heap allocation on sweep and
+//! kernel hot paths.
+//!
+//! PR 5 introduced the `SweepScratch` buffer pool precisely because the
+//! rounding sweeps used to allocate a fresh `Matrix` per core per
+//! iteration, and the allocator showed up in every profile. This pass
+//! keeps that work from regressing: inside any function reachable from a
+//! hot-path entry point ([`crate::callgraph::HOT_ROOT_PREFIXES`]), it flags
+//!
+//! * a direct allocating construct inside a loop — `Vec::new`,
+//!   `with_capacity`, `Box::new`, `String` constructors, `vec!`/`format!`,
+//!   and the allocating method family `.to_vec()`/`.to_owned()`/
+//!   `.to_string()`/`.collect()`/`.clone()`; and
+//! * a call inside a loop to a function that *transitively allocates*
+//!   (per the propagated facts, witness chain included) **when the
+//!   evidence lives in the same file as the call site** — so refactoring a
+//!   `vec!` out of the loop body into a local helper does not hide it.
+//!   Cross-file calls whose callee allocates (`gemm`, `tsqr`, `transpose`,
+//!   …) are the kernel API's documented result-allocation contract and are
+//!   reviewed at the API level, not re-flagged at every call site; the
+//!   fact still propagates through the graph and `--stats` counts it.
+//!
+//! The `SweepScratch` pool itself is the sanctioned escape hatch: calls to
+//! its `take`/`recycle`/`recycle_core` surface neither fire nor propagate
+//! the allocates fact ([`crate::callgraph::SANCTIONED_POOL_METHODS`]) —
+//! the pool's internal warm-up allocation is its documented fallback, and
+//! routing a hot loop through the pool is exactly the fix this pass asks
+//! for. Vendored crates are exempt by allowlist.
+
+use super::{Diagnostic, GraphContext, GraphPass};
+use crate::callgraph::{ALLOC_FACT_EXEMPT_PREFIXES, SANCTIONED_POOL_METHODS};
+
+/// See the module docs.
+pub struct AllocHotPath;
+
+impl GraphPass for AllocHotPath {
+    fn name(&self) -> &'static str {
+        "alloc_hot_path"
+    }
+
+    fn description(&self) -> &'static str {
+        "per-iteration heap allocation (direct or via callees) in loops reachable from \
+         sweep/kernel hot paths — use the SweepScratch pool (DESIGN.md §10)"
+    }
+
+    fn allowlist(&self) -> &'static [&'static str] {
+        // The same trees that are exempt from the allocates *fact*: the
+        // comm layer allocates per message by design, tooling/bench crates
+        // are not numeric code, vendored shims mirror external APIs.
+        ALLOC_FACT_EXEMPT_PREFIXES
+    }
+
+    fn run(&self, cx: &GraphContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (ni, node) in cx.graph.nodes.iter().enumerate() {
+            let Some(root) = cx.hot[ni].as_ref() else {
+                continue;
+            };
+            let summary = cx.graph.summary(ni);
+            for (e, in_loop) in &summary.allocs {
+                if !in_loop {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: node.file.clone(),
+                    line: e.line,
+                    message: format!(
+                        "allocation {} inside a loop in `{}`, reachable from hot-path entry \
+                         `{root}`: per-iteration heap traffic is what SweepScratch exists to \
+                         remove — take a pooled buffer or hoist the allocation out of the loop",
+                        e.what, node.name
+                    ),
+                });
+            }
+            for edge in &cx.graph.edges[ni] {
+                let site = &edge.site;
+                if !site.in_loop {
+                    continue;
+                }
+                if site.is_method && SANCTIONED_POOL_METHODS.contains(&site.callee.as_str()) {
+                    continue;
+                }
+                let Some(witness) = edge
+                    .targets
+                    .iter()
+                    .filter_map(|&t| cx.facts.allocates[t].as_ref())
+                    .find(|w| w.evidence_file == node.file)
+                else {
+                    continue;
+                };
+                // Same-file evidence only: the helper case this rule exists
+                // for. A depth-0 witness can duplicate the callee's own
+                // direct finding when the callee also loops; that is fine —
+                // the two findings point at different lines and both are
+                // real per-iteration costs.
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: node.file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "call to `{}` inside a loop in `{}` transitively allocates ({}), \
+                         reachable from hot-path entry `{root}`: pass a pooled/preallocated \
+                         buffer through or hoist the allocating work out of the loop",
+                        site.callee, node.name, witness.chain
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Pass `collective_order`: the interprocedural successor of
+//! `rank_collective`.
+//!
+//! `rank_collective` sees one file at a time, so it catches a *direct*
+//! `comm.allreduce_sum(..)` inside `if rank == 0 { .. }` — but not the
+//! refactored form where the collective moved into a helper and only the
+//! *call to the helper* sits behind rank-dependent control flow. The
+//! deadlock is identical: ranks that skip the call skip the collective, the
+//! rest block in it forever, and `VerifyComm` only notices on a schedule a
+//! test happens to run. This pass closes that gap using the workspace call
+//! graph: a call site whose callee *transitively issues a collective*
+//! (per the propagated facts, with a witness chain naming the path down to
+//! the primitive) is flagged when it
+//!
+//! * sits inside a rank-dependent conditional region, or
+//! * follows a rank-guarded early `return` in the same function.
+//!
+//! Direct collective method calls stay `rank_collective`'s domain (this
+//! pass skips edges whose callee *is* a collective primitive, so one
+//! hazard never double-reports under two names), and callers named like
+//! the collectives themselves are exempt for the same reason as there:
+//! a backend implementing `broadcast` may freely branch on rank — that is
+//! the collective, not a call site.
+
+use super::{Diagnostic, GraphContext, GraphPass, COLLECTIVES};
+
+/// See the module docs.
+pub struct CollectiveOrder;
+
+impl GraphPass for CollectiveOrder {
+    fn name(&self) -> &'static str {
+        "collective_order"
+    }
+
+    fn description(&self) -> &'static str {
+        "calls that transitively issue a collective from rank-dependent control flow \
+         (interprocedural rank_collective; DESIGN.md §10)"
+    }
+
+    fn run(&self, cx: &GraphContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (ni, edges) in cx.graph.edges.iter().enumerate() {
+            let caller = &cx.graph.nodes[ni];
+            // A communicator backend/decorator implementing a collective is
+            // rank-dependent by construction.
+            if COLLECTIVES.contains(&caller.name.as_str()) {
+                continue;
+            }
+            for edge in edges {
+                let site = &edge.site;
+                // Direct primitives are rank_collective's finding.
+                if COLLECTIVES.contains(&site.callee.as_str()) {
+                    continue;
+                }
+                if !site.in_rank_cond && site.after_rank_return.is_none() {
+                    continue;
+                }
+                // Over-approximation on ambiguous edges: any candidate
+                // carrying the fact makes the site suspect; the witness
+                // chain tells the reader which resolution was assumed.
+                let Some(witness) = edge
+                    .targets
+                    .iter()
+                    .find_map(|&t| cx.facts.collective[t].as_ref())
+                else {
+                    continue;
+                };
+                let message = if site.in_rank_cond {
+                    format!(
+                        "call to `{}` inside a rank-dependent conditional transitively \
+                         issues a collective ({}): ranks skipping this branch skip the \
+                         collective and the rest deadlock in it — hoist the call or make \
+                         the condition rank-uniform",
+                        site.callee, witness.chain
+                    )
+                } else {
+                    let ret = site.after_rank_return.unwrap_or(0);
+                    format!(
+                        "call to `{}` after the rank-guarded early return at line {ret} \
+                         transitively issues a collective ({}): returning ranks never \
+                         reach it and the rest block forever",
+                        site.callee, witness.chain
+                    )
+                };
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: caller.file.clone(),
+                    line: site.line,
+                    message,
+                });
+            }
+        }
+    }
+}

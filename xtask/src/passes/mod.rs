@@ -8,8 +8,12 @@
 //! [`crate::analyze`]) — the reason string is mandatory, so every accepted
 //! finding is documented at the call site.
 
+use crate::callgraph::{CallGraph, Facts};
 use crate::scanner::{CodeModel, TokenKind};
 
+pub mod alloc_hot_path;
+pub mod collective_order;
+pub mod determinism;
 pub mod float_discipline;
 pub mod p2p_pairing;
 pub mod panic_surface;
@@ -59,6 +63,60 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(panic_surface::PanicSurface),
         Box::new(thread_discipline::ThreadDiscipline),
     ]
+}
+
+/// Everything an interprocedural pass sees: the workspace call graph, the
+/// propagated transitive facts, and the hot-path reachability witness per
+/// node (`Some(root_name)` when the node is in the forward closure of a
+/// [`crate::callgraph::HOT_ROOT_PREFIXES`] entry point).
+pub struct GraphContext<'a> {
+    /// The workspace call graph (DESIGN.md §10).
+    pub graph: &'a CallGraph,
+    /// Transitive collective / nondeterminism / allocation facts.
+    pub facts: &'a Facts,
+    /// Per-node hot-path witness root, indexed like `graph.nodes`.
+    pub hot: &'a [Option<String>],
+}
+
+/// An interprocedural pass over the whole workspace (DESIGN.md §10). Unlike
+/// [`Pass`], a `GraphPass` runs once per analysis, after every file's
+/// summary has been merged into the call graph; its diagnostics carry the
+/// file they point into, and the driver applies the allowlist by filtering
+/// on that path.
+pub trait GraphPass {
+    /// Stable name, used in diagnostics and `analyze::allow(...)`.
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-passes` and docs.
+    fn description(&self) -> &'static str;
+
+    /// Repo-relative path prefixes whose findings this pass drops (same
+    /// contract as [`Pass::allowlist`], applied post hoc by the driver).
+    fn allowlist(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Runs the pass over the whole graph, appending findings to `out`.
+    fn run(&self, cx: &GraphContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The interprocedural registry, in reporting order.
+pub fn all_graph_passes() -> Vec<Box<dyn GraphPass>> {
+    vec![
+        Box::new(collective_order::CollectiveOrder),
+        Box::new(determinism::Determinism),
+        Box::new(alloc_hot_path::AllocHotPath),
+    ]
+}
+
+/// Every pass name — per-file and interprocedural — for suppression
+/// validation and `--list-passes`.
+pub fn all_pass_names() -> Vec<&'static str> {
+    all_passes()
+        .iter()
+        .map(|p| p.name())
+        .chain(all_graph_passes().iter().map(|p| p.name()))
+        .collect()
 }
 
 /// The `Communicator` collective methods (the SPMD-critical call surface).

@@ -1,0 +1,34 @@
+//! `alloc_hot_path` positives and the two designed negatives: the same-file
+//! helper rule (hidden-allocation refactors still fire) and the cross-file
+//! API exemption (a callee whose allocation is its documented contract does
+//! not re-flag every call site).
+
+/// Hot root: a direct allocation in the loop and a call to a same-file
+/// helper that hides one — both fire.
+pub fn gram_sweep_local(n: usize) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        let v = vec![0.0; 4];
+        acc += v[0] + helper_alloc(i);
+    }
+    acc
+}
+
+fn helper_alloc(i: usize) -> f64 {
+    let mut scratch = Vec::with_capacity(i + 1);
+    scratch.push(1.0);
+    scratch[0]
+}
+
+/// Hot root calling the *cross-file* allocator `helpers.rs::fresh_buf` in a
+/// loop: silent by design — the fact propagates (visible in `--stats` and
+/// to other passes) but the call site is the API boundary, not a hidden
+/// regression.
+pub fn round_api_boundary(n: usize) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..n {
+        let buf = fresh_buf(8);
+        acc += buf[0];
+    }
+    acc
+}

@@ -1,0 +1,27 @@
+//! `collective_order` positives: calls to transitively-collective helpers
+//! from rank-divergent control flow. The per-file `rank_collective` pass is
+//! blind to all of these — no collective *name* appears near the `rank`
+//! tests — which is exactly why the interprocedural pass exists.
+
+/// Same-file helper: both the guarded call and the call in the
+/// rank-guarded-return shadow must fire.
+pub fn round_guarded(comm: &Communicator, rank: usize, x: f64) -> f64 {
+    if rank == 0 {
+        return helper_reduce(comm, x);
+    }
+    helper_reduce(comm, x)
+}
+
+fn helper_reduce(comm: &Communicator, x: f64) -> f64 {
+    comm.allreduce_sum(x)
+}
+
+/// Cross-file, two hops deep: the witness chain walks through
+/// `helpers.rs::deep_reduce` → `mid_reduce` → the collective itself.
+pub fn gram_sweep_guarded(comm: &Communicator, rank: usize, x: f64) -> f64 {
+    let mut acc = 0.0;
+    if rank != 0 {
+        acc += deep_reduce(comm, x);
+    }
+    acc
+}

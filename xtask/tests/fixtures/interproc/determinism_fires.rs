@@ -1,0 +1,27 @@
+//! `determinism` positives and the reachability negative: nondeterminism
+//! sources fire only inside functions reachable from a hot-path entry
+//! point, and each source is reported once, at its own line.
+
+/// Hot root (`round_` prefix); the source lives one call down.
+pub fn round_jitter(x: f64) -> f64 {
+    helper_noise(x)
+}
+
+fn helper_noise(x: f64) -> f64 {
+    let t = std::time::Instant::now();
+    x + t.elapsed().as_secs_f64()
+}
+
+/// Hot root with a direct source in its own body.
+pub fn gram_sweep_env(x: f64) -> f64 {
+    match std::env::var("TT_FIXTURE_KNOB") {
+        Ok(_) => x + 1.0,
+        Err(_) => x,
+    }
+}
+
+/// NOT reachable from any hot root: clock reads here are fine.
+pub fn report_elapsed() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -4,6 +4,8 @@
 //! do not parse.
 
 use proptest::prelude::*;
+use xtask::analyze::{analyze_files_with, AnalysisOptions};
+use xtask::callgraph::FileSummary;
 use xtask::passes::all_passes;
 use xtask::scanner::CodeModel;
 
@@ -68,6 +70,23 @@ const FRAGMENTS: &[&str] = &[
     "\u{7f}",
     "é",
     "𝕊",
+    // Call-site / summary-extraction shapes for the interprocedural layer.
+    "use a::b::{c, d as e};",
+    "use crate::round::*;",
+    "comm.allreduce_sum(",
+    "deep_reduce(comm, x)",
+    "for i in 0..n {",
+    "loop {",
+    "Vec::new()",
+    "Vec::with_capacity(",
+    "vec![0.0; 4]",
+    ".collect::<Vec<_>>()",
+    ".to_vec()",
+    "HashMap::new()",
+    "Instant::now()",
+    "std::env::var(",
+    "pool.take(",
+    "if rank == 0 { return; }",
 ];
 
 proptest! {
@@ -110,6 +129,39 @@ proptest! {
     }
 
     #[test]
+    fn summary_extraction_is_total_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255u8, 0usize..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let model = CodeModel::build(&src);
+        let summary = FileSummary::extract("soup.rs", &model);
+        // Every recorded call site carries a line inside the input, and a
+        // second extraction is bit-identical (no hidden state).
+        let max_line = src.lines().count().max(1);
+        for f in &summary.fns {
+            for c in &f.calls {
+                prop_assert!(c.line >= 1 && c.line <= max_line);
+                prop_assert!(!c.callee.is_empty());
+            }
+        }
+        prop_assert_eq!(summary.clone(), FileSummary::extract("soup.rs", &model));
+    }
+
+    #[test]
+    fn summary_extraction_is_total_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0usize..64),
+    ) {
+        let src = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let model = CodeModel::build(&src);
+        let summary = FileSummary::extract("soup.rs", &model);
+        prop_assert_eq!(summary.clone(), FileSummary::extract("soup.rs", &model));
+    }
+
+    #[test]
     fn line_numbers_are_monotone_and_in_range(
         bytes in proptest::collection::vec(0u8..=255u8, 0usize..256),
     ) {
@@ -122,5 +174,98 @@ proptest! {
             prop_assert!(t.line <= max_line, "token line past end of input");
             prev = t.line;
         }
+    }
+}
+
+/// Writes one fragment-soup corpus under `target/` (inside the repo) and
+/// returns `(repo_dir, files)`. Each test uses its own subdirectory so
+/// parallel test threads never collide.
+fn write_corpus(
+    subdir: &str,
+    file_picks: &[Vec<usize>],
+) -> (std::path::PathBuf, Vec<std::path::PathBuf>) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../target/analyze-props")
+        .join(subdir);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    let mut files = Vec::new();
+    for (i, picks) in file_picks.iter().enumerate() {
+        let src = picks
+            .iter()
+            .map(|&p| FRAGMENTS[p % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let path = dir.join(format!("soup{i}.rs"));
+        std::fs::write(&path, src).expect("write corpus file");
+        files.push(path);
+    }
+    (dir, files)
+}
+
+/// `(line, pass, file, message)` projection for report equality.
+fn flat(report: &xtask::analyze::Report) -> Vec<(usize, String, String, String)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            (
+                d.line,
+                d.pass.to_string(),
+                d.file.clone(),
+                d.message.clone(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // End-to-end properties run the whole pipeline with file IO: keep the
+    // case count low — each case is a full multi-file analysis.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn report_is_independent_of_worker_count(
+        file_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..FRAGMENTS.len(), 0usize..48),
+            1usize..6,
+        ),
+    ) {
+        let (dir, files) = write_corpus("jobs", &file_picks);
+        let serial = analyze_files_with(&dir, &files, &AnalysisOptions::serial_uncached())
+            .expect("serial run");
+        for jobs in [2usize, 4, 7] {
+            let opts = AnalysisOptions { jobs, cache_dir: None };
+            let par = analyze_files_with(&dir, &files, &opts).expect("parallel run");
+            prop_assert_eq!(flat(&serial.0), flat(&par.0), "jobs={}", jobs);
+            prop_assert_eq!(serial.0.suppressed, par.0.suppressed);
+            prop_assert_eq!(&serial.0.errors, &par.0.errors);
+            prop_assert_eq!(&serial.0.unused, &par.0.unused);
+            prop_assert_eq!(serial.1.graph_nodes, par.1.graph_nodes);
+            prop_assert_eq!(serial.1.graph_edges, par.1.graph_edges);
+        }
+    }
+
+    #[test]
+    fn cached_rerun_reproduces_the_uncached_report(
+        file_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..FRAGMENTS.len(), 0usize..48),
+            1usize..5,
+        ),
+    ) {
+        let (dir, files) = write_corpus("cache", &file_picks);
+        let uncached = analyze_files_with(&dir, &files, &AnalysisOptions::serial_uncached())
+            .expect("uncached run");
+        let cache_dir = dir.join("cache");
+        let opts = AnalysisOptions { jobs: 1, cache_dir: Some(cache_dir) };
+        let cold = analyze_files_with(&dir, &files, &opts).expect("cold run");
+        let warm = analyze_files_with(&dir, &files, &opts).expect("warm run");
+        prop_assert_eq!(cold.1.cache_hits, 0, "cold run must miss everywhere");
+        prop_assert_eq!(warm.1.cache_hits, files.len(), "warm run must hit everywhere");
+        prop_assert_eq!(flat(&uncached.0), flat(&cold.0));
+        prop_assert_eq!(flat(&uncached.0), flat(&warm.0));
+        prop_assert_eq!(uncached.0.suppressed, warm.0.suppressed);
+        prop_assert_eq!(&uncached.0.errors, &warm.0.errors);
+        prop_assert_eq!(&uncached.0.unused, &warm.0.unused);
     }
 }
