@@ -6,13 +6,23 @@
 //! followed by a two-mode core contraction (local `gemm` + one allreduce).
 //! The non-symmetric update (`gemm` + `gemm`) is used, as the paper chooses
 //! empirically; see `bench/gram_sweep` for the symmetric-variant ablation.
+//!
+//! Every Gram contraction dispatches on
+//! [`RoundingOptions::gram_precision`](crate::round::RoundingOptions): the
+//! default accumulates in `f64`, while [`GramPrecision::F32`] routes the same
+//! products through the `f32` blocked kernels (`tt_linalg::block32`) — the
+//! Gram floor moves from `sqrt(eps_f64)` to `sqrt(eps_f32)`, which is free
+//! whenever the requested tolerance is looser than `~1e-3`. Cores, truncation
+//! factors, and core updates always stay `f64`.
 
 use crate::core::TtCore;
 use crate::round::truncate::{gram_truncate, SingularSide};
-use crate::round::{GramOrder, RoundReport, RoundingOptions};
+use crate::round::{GramOrder, GramPrecision, RoundReport, RoundingOptions};
 use crate::tensor::TtTensor;
 use tt_comm::Communicator;
-use tt_linalg::{gemm_alloc, gemm_v, syrk_v, Matrix, Trans};
+use tt_linalg::{
+    gemm_alloc, gemm_f32_v, gemm_v, syrk_f32_v, syrk_v, MatMut, MatRef, Matrix, Trans,
+};
 
 /// Per-sweep buffer pool for the rounding hot path.
 ///
@@ -134,18 +144,56 @@ fn postmult_v_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
     TtCore::from_v(out, core.r0(), core.mode_dim(), w.cols())
 }
 
+/// Gram-product `gemm`, dispatched on the accumulation precision
+/// ([`RoundingOptions::gram_precision`]). Only the *Gram* contractions run
+/// through here — core updates (`premult_h`/`postmult_v`) always stay `f64`,
+/// since the cores themselves are never demoted.
+fn gram_gemm_v(
+    p: GramPrecision,
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    c: MatMut<'_>,
+) {
+    match p {
+        GramPrecision::F64 => gemm_v(ta, a, tb, b, 1.0, 0.0, c),
+        GramPrecision::F32 => gemm_f32_v(ta, a, tb, b, 1.0, 0.0, c),
+    }
+}
+
+/// Gram-product `syrk` (`AᵀA`), dispatched on the accumulation precision.
+fn gram_syrk_v(p: GramPrecision, a: MatRef<'_>, alpha: f64) -> Matrix {
+    match p {
+        GramPrecision::F64 => syrk_v(a, alpha),
+        GramPrecision::F32 => syrk_f32_v(a, alpha),
+    }
+}
+
 /// Two-mode contraction `H(A)·H(B)ᵀ` (local part) + allreduce.
-fn contract_h(comm: &impl Communicator, a: &TtCore, b: &TtCore, s: &mut SweepScratch) -> Matrix {
+fn contract_h(
+    comm: &impl Communicator,
+    a: &TtCore,
+    b: &TtCore,
+    s: &mut SweepScratch,
+    p: GramPrecision,
+) -> Matrix {
     let mut g = s.take(a.r0(), b.r0());
-    gemm_v(Trans::No, a.h(), Trans::Yes, b.h(), 1.0, 0.0, g.view_mut());
+    gram_gemm_v(p, Trans::No, a.h(), Trans::Yes, b.h(), g.view_mut());
     comm.allreduce_sum(g.as_mut_slice());
     g
 }
 
 /// Two-mode contraction `V(A)ᵀ·V(B)` (local part) + allreduce.
-fn contract_v(comm: &impl Communicator, a: &TtCore, b: &TtCore, s: &mut SweepScratch) -> Matrix {
+fn contract_v(
+    comm: &impl Communicator,
+    a: &TtCore,
+    b: &TtCore,
+    s: &mut SweepScratch,
+    p: GramPrecision,
+) -> Matrix {
     let mut g = s.take(a.r1(), b.r1());
-    gemm_v(Trans::Yes, a.v(), Trans::No, b.v(), 1.0, 0.0, g.view_mut());
+    gram_gemm_v(p, Trans::Yes, a.v(), Trans::No, b.v(), g.view_mut());
     comm.allreduce_sum(g.as_mut_slice());
     g
 }
@@ -155,16 +203,21 @@ fn contract_v(comm: &impl Communicator, a: &TtCore, b: &TtCore, s: &mut SweepScr
 /// Returns `g` with `g[b] = G_b^R` for `0 ≤ b ≤ N-1`; `g[0]` is the `1×1`
 /// matrix `‖X‖²`.
 pub fn gram_sweep_right(comm: &impl Communicator, x: &TtTensor) -> Vec<Matrix> {
-    gram_sweep_right_s(comm, x, &mut SweepScratch::new())
+    gram_sweep_right_s(comm, x, &mut SweepScratch::new(), GramPrecision::F64)
 }
 
-fn gram_sweep_right_s(comm: &impl Communicator, x: &TtTensor, s: &mut SweepScratch) -> Vec<Matrix> {
+fn gram_sweep_right_s(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    s: &mut SweepScratch,
+    p: GramPrecision,
+) -> Vec<Matrix> {
     let n = x.order();
     let mut g = vec![Matrix::identity(1); n];
-    g[n - 1] = contract_h(comm, x.core(n - 1), x.core(n - 1), s);
+    g[n - 1] = contract_h(comm, x.core(n - 1), x.core(n - 1), s, p);
     for k in (0..n - 1).rev() {
         let c = postmult_v_s(x.core(k), &g[k + 1], s);
-        g[k] = contract_h(comm, &c, x.core(k), s);
+        g[k] = contract_h(comm, &c, x.core(k), s, p);
         s.recycle_core(c);
     }
     g
@@ -176,18 +229,23 @@ fn gram_sweep_right_s(comm: &impl Communicator, x: &TtTensor, s: &mut SweepScrat
 /// Returns `g` with `g[b] = G_b^L` for `1 ≤ b ≤ N`; `g[N]` is the `1×1`
 /// matrix `‖X‖²`. (`g[0]` is unused and left as the `1×1` identity.)
 pub fn gram_sweep_left(comm: &impl Communicator, x: &TtTensor) -> Vec<Matrix> {
-    gram_sweep_left_s(comm, x, &mut SweepScratch::new())
+    gram_sweep_left_s(comm, x, &mut SweepScratch::new(), GramPrecision::F64)
 }
 
-fn gram_sweep_left_s(comm: &impl Communicator, x: &TtTensor, s: &mut SweepScratch) -> Vec<Matrix> {
+fn gram_sweep_left_s(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    s: &mut SweepScratch,
+    p: GramPrecision,
+) -> Vec<Matrix> {
     let n = x.order();
     let mut g = vec![Matrix::identity(1); n + 1];
-    let mut g1 = syrk_v(x.core(0).v(), 1.0);
+    let mut g1 = gram_syrk_v(p, x.core(0).v(), 1.0);
     comm.allreduce_sum(g1.as_mut_slice());
     g[1] = g1;
     for k in 1..n {
         let e = premult_h_s(x.core(k), &g[k], s);
-        g[k + 1] = contract_v(comm, x.core(k), &e, s);
+        g[k + 1] = contract_v(comm, x.core(k), &e, s, p);
         s.recycle_core(e);
     }
     g
@@ -299,14 +357,14 @@ pub(crate) fn round_gram_seq_scratch(
 
     let norm = match order {
         GramOrder::Rlr => {
-            let gr = gram_sweep_right_s(comm, &y, scratch);
+            let gr = gram_sweep_right_s(comm, &y, scratch, opts.gram_precision);
             let norm = gr[0][(0, 0)].max(0.0).sqrt();
             let eps0 = epsilon0(norm, opts.tolerance, n);
             // Left-to-right truncation; left cores stay orthonormal, the
             // singular values ride on the right factor.
             for (b, gr_b) in gr.iter().enumerate().take(n).skip(1) {
                 let gl = {
-                    let mut g = syrk_v(y.core(b - 1).v(), 1.0);
+                    let mut g = gram_syrk_v(opts.gram_precision, y.core(b - 1).v(), 1.0);
                     comm.allreduce_sum(g.as_mut_slice());
                     g
                 };
@@ -324,13 +382,13 @@ pub(crate) fn round_gram_seq_scratch(
             norm
         }
         GramOrder::Lrl => {
-            let gl = gram_sweep_left_s(comm, &y, scratch);
+            let gl = gram_sweep_left_s(comm, &y, scratch, opts.gram_precision);
             let norm = gl[n][(0, 0)].max(0.0).sqrt();
             let eps0 = epsilon0(norm, opts.tolerance, n);
             // Right-to-left truncation; right cores stay orthonormal, the
             // singular values ride on the left factor.
             for b in (1..n).rev() {
-                let gr = contract_h(comm, y.core(b), y.core(b), scratch);
+                let gr = contract_h(comm, y.core(b), y.core(b), scratch, opts.gram_precision);
                 let upd = gram_truncate(b, &gl[b], &gr, eps0, opts.max_rank, SingularSide::Left);
                 scratch.recycle(gr);
                 let left = postmult_v_s(y.core(b - 1), &upd.w_left, scratch);
@@ -395,8 +453,8 @@ pub fn round_gram_sim_dist_owned(
     }
 
     let mut scratch = SweepScratch::new();
-    let gl = gram_sweep_left_s(comm, &y, &mut scratch);
-    let gr = gram_sweep_right_s(comm, &y, &mut scratch);
+    let gl = gram_sweep_left_s(comm, &y, &mut scratch, opts.gram_precision);
+    let gr = gram_sweep_right_s(comm, &y, &mut scratch, opts.gram_precision);
     let norm = gr[0][(0, 0)].max(0.0).sqrt();
     let eps0 = epsilon0(norm, opts.tolerance, n);
 
@@ -692,6 +750,65 @@ mod tests {
             scratch.fresh,
             scratch.reuses
         );
+    }
+
+    #[test]
+    fn f32_gram_rounding_recovers_ranks_at_loose_tolerance() {
+        // With f32 Gram accumulation the attainable floor is
+        // sqrt(eps_f32) ≈ 3.4e-4; at a 3e-3 tolerance the redundant ranks
+        // must still be recovered exactly and the value reproduced within
+        // the requested bound.
+        let (base, doubled) = redundant(&[5, 4, 6, 5], &[3, 2, 4], 40);
+        let mut expect = base.clone();
+        expect.scale(2.0);
+        let comm = SelfComm::new();
+        let tol = 3e-3;
+        let opts = RoundingOptions::with_tolerance(tol).gram_f32();
+        let seq = |order| round_gram_seq_dist(&comm, &doubled, &opts, order);
+        for (name, (y, report)) in [
+            ("rlr", seq(GramOrder::Rlr)),
+            ("lrl", seq(GramOrder::Lrl)),
+            ("sim", round_gram_sim_dist(&comm, &doubled, &opts)),
+        ] {
+            assert_eq!(y.ranks(), vec![1, 3, 2, 4, 1], "{name}: ranks");
+            let err = y.sub(&expect).norm();
+            assert!(
+                err <= tol * expect.norm() * 1.5 + 1e-12,
+                "{name}: err {err:e} vs tol {tol:e}"
+            );
+            // The norm estimate comes out of the f32 Gram sweep; it must
+            // still agree with the true norm to f32 accuracy.
+            let nrm = doubled.norm();
+            assert!(
+                (report.norm - nrm).abs() < 1e-5 * (1.0 + nrm),
+                "{name}: norm {} vs {}",
+                report.norm,
+                nrm
+            );
+        }
+    }
+
+    #[test]
+    fn f32_gram_error_scales_with_sqrt_eps_f32() {
+        // Componentwise agreement with the f64 oracle at a tolerance well
+        // above both floors: the two precisions must produce the same rank
+        // decisions and tensors within a sqrt(eps_f32)-scaled bound.
+        let (_, doubled) = redundant(&[4, 6, 3, 5], &[2, 3, 2], 41);
+        let comm = SelfComm::new();
+        let tol = 1e-2;
+        let opts64 = RoundingOptions::with_tolerance(tol);
+        let opts32 = RoundingOptions::with_tolerance(tol).gram_f32();
+        let floor = (f32::EPSILON as f64).sqrt(); // ≈ 3.4e-4
+        for order in [GramOrder::Rlr, GramOrder::Lrl] {
+            let (y64, _) = round_gram_seq_dist(&comm, &doubled, &opts64, order);
+            let (y32, _) = round_gram_seq_dist(&comm, &doubled, &opts32, order);
+            assert_eq!(y64.ranks(), y32.ranks(), "{order:?}: rank decisions");
+            let err = y32.sub(&y64).norm();
+            assert!(
+                err < 8.0 * floor * (1.0 + y64.norm()),
+                "{order:?}: f32-vs-f64 err {err:e} above sqrt(eps_f32) scale"
+            );
+        }
     }
 
     #[test]

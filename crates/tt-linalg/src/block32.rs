@@ -1,0 +1,493 @@
+//! Reduced-precision (`f32`-accumulation) blocked kernels for the Gram
+//! path.
+//!
+//! The Gram-SVD rounding variants square the conditioning: singular values
+//! below `sqrt(eps)·‖X‖` are unrecoverable from the Gram matrix no matter
+//! how precisely it is accumulated (§III-B discussion). That concession
+//! makes reduced-precision accumulation nearly free for loose-tolerance
+//! rounding: packing the operands to `f32` halves the memory traffic of
+//! the memory-bound Gram sweeps and doubles the SIMD lane count, while the
+//! accuracy floor moves from `sqrt(eps_f64) ≈ 1.5e-8` to
+//! `sqrt(eps_f32) ≈ 3.4e-4` — irrelevant whenever the requested tolerance
+//! is looser than that. The path is strictly **opt-in** via
+//! `RoundingOptions` in `tt-core`; nothing routes here by default.
+//!
+//! Structure mirrors [`crate::block`]: the same `MR × NR` register tile,
+//! the same autotuned `MC/KC/NC` loop nest (block byte budgets assume f64,
+//! so the f32 panels simply enjoy extra headroom), the same zero-padded
+//! packing, and a scalar/`std::simd` microkernel pair behind the `simd`
+//! feature — `f32x8` holds a whole tile column per vector, twice the lane
+//! width of the f64 kernel. Inputs and outputs stay `f64` ([`Matrix`]);
+//! only packing and accumulation are demoted. Kernels here are sequential:
+//! the f32 Gram products sit inside rounding sweeps whose parallelism (and
+//! its determinism contract) lives at the [`crate::par`] layer above, and
+//! the halved traffic is exactly the regime where extra threads pay least.
+
+use crate::block::{SyrkShape, MR, NR};
+use crate::gemm::Trans;
+use crate::matrix::Matrix;
+use crate::tune;
+use crate::view::{MatMut, MatRef};
+
+/// The one demotion point for the whole module.
+#[inline(always)]
+fn demote(x: f64) -> f32 {
+    // analyze::allow(narrow_cast): deliberate precision reduction — the
+    // f32 Gram path's entire contract is accumulating in reduced
+    // precision; the sqrt(eps_f32) accuracy floor is documented and
+    // tested against the f64 oracle.
+    x as f32
+}
+
+/// `f32` analogue of [`crate::block`]'s `pack_a`: packs the `mc × kc`
+/// block of `op(A)` at `(i0, k0)` into `MR`-row slabs, demoting each
+/// element, rows beyond `mc` zero-padded.
+fn pack_a32(
+    ta: Trans,
+    a: &MatRef<'_>,
+    i0: usize,
+    mc: usize,
+    k0: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    let slabs = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= slabs * MR * kc);
+    for slab in 0..slabs {
+        let base = slab * MR * kc;
+        let rows = MR.min(mc - slab * MR);
+        match ta {
+            Trans::No => {
+                for step in 0..kc {
+                    let col = a.col(k0 + step);
+                    let dst = &mut buf[base + step * MR..base + step * MR + MR];
+                    let src_base = i0 + slab * MR;
+                    for (d, s) in dst[..rows].iter_mut().zip(&col[src_base..src_base + rows]) {
+                        *d = demote(*s);
+                    }
+                    for d in dst.iter_mut().skip(rows) {
+                        *d = 0.0;
+                    }
+                }
+            }
+            Trans::Yes => {
+                for r in 0..rows {
+                    let col = a.col(i0 + slab * MR + r);
+                    for step in 0..kc {
+                        buf[base + step * MR + r] = demote(col[k0 + step]);
+                    }
+                }
+                for r in rows..MR {
+                    for step in 0..kc {
+                        buf[base + step * MR + r] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `f32` analogue of [`crate::block`]'s `pack_b`: packs the `kc × nc`
+/// block of `op(B)` at `(k0, j0)` into `NR`-column slabs, demoting each
+/// element, columns beyond `nc` zero-padded.
+fn pack_b32(
+    tb: Trans,
+    b: &MatRef<'_>,
+    k0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    let slabs = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= slabs * NR * kc);
+    match tb {
+        Trans::No => {
+            for slab in 0..slabs {
+                let base = slab * NR * kc;
+                let cols = NR.min(nc - slab * NR);
+                for q in 0..cols {
+                    let col = b.col(j0 + slab * NR + q);
+                    for step in 0..kc {
+                        buf[base + step * NR + q] = demote(col[k0 + step]);
+                    }
+                }
+                for q in cols..NR {
+                    for step in 0..kc {
+                        buf[base + step * NR + q] = 0.0;
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            for step in 0..kc {
+                let col = b.col(k0 + step);
+                for slab in 0..slabs {
+                    let base = slab * NR * kc;
+                    let cols = NR.min(nc - slab * NR);
+                    let src_base = j0 + slab * NR;
+                    for q in 0..cols {
+                        buf[base + step * NR + q] = demote(col[src_base + q]);
+                    }
+                    for q in cols..NR {
+                        buf[base + step * NR + q] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scalar `f32` register microkernel; same step-major contract as the f64
+/// kernel, accumulating entirely in `f32`.
+#[cfg_attr(feature = "simd", allow(dead_code))]
+#[inline]
+fn microkernel32_scalar(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    let (a_steps, _) = pa.as_chunks::<MR>();
+    let (b_steps, _) = pb.as_chunks::<NR>();
+    debug_assert_eq!(a_steps.len(), b_steps.len());
+    for (ar, br) in a_steps.iter().zip(b_steps.iter()) {
+        for q in 0..NR {
+            let bq = br[q];
+            let accq = &mut acc[q];
+            for r in 0..MR {
+                accq[r] += ar[r] * bq;
+            }
+        }
+    }
+}
+
+/// Explicit-SIMD `f32` microkernel: one `f32x8` vector holds an entire
+/// tile column, so the tile is four vectors and each packed step is one
+/// load, four splats, and four (fused, with the `fma` target feature)
+/// multiply-adds.
+#[cfg(feature = "simd")]
+#[inline]
+fn microkernel32_simd(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    use std::simd::{f32x8, StdFloat};
+
+    // See the f64 kernel: `mul_add` without hardware FMA is a libm call
+    // per lane, so fuse only when the target feature guarantees it.
+    #[inline(always)]
+    fn fmadd(a: f32x8, b: f32x8, c: f32x8) -> f32x8 {
+        if cfg!(target_feature = "fma") {
+            a.mul_add(b, c)
+        } else {
+            a * b + c
+        }
+    }
+
+    let (a_steps, _) = pa.as_chunks::<MR>();
+    let (b_steps, _) = pb.as_chunks::<NR>();
+    debug_assert_eq!(a_steps.len(), b_steps.len());
+    let mut v = [f32x8::splat(0.0); NR];
+    for (q, vq) in v.iter_mut().enumerate() {
+        *vq = f32x8::from_slice(&acc[q]);
+    }
+    for (ar, br) in a_steps.iter().zip(b_steps.iter()) {
+        let a = f32x8::from_slice(ar);
+        for (q, vq) in v.iter_mut().enumerate() {
+            *vq = fmadd(a, f32x8::splat(br[q]), *vq);
+        }
+    }
+    for (q, vq) in v.iter().enumerate() {
+        vq.copy_to_slice(&mut acc[q]);
+    }
+}
+
+/// The active `f32` register microkernel for this build configuration.
+#[inline]
+fn microkernel32(pa: &[f32], pb: &[f32], acc: &mut [[f32; MR]; NR]) {
+    #[cfg(feature = "simd")]
+    microkernel32_simd(pa, pb, acc);
+    #[cfg(not(feature = "simd"))]
+    microkernel32_scalar(pa, pb, acc);
+}
+
+/// Writes `c[i0.., j0..] += alpha * acc` (promoting each accumulator entry
+/// back to `f64`) for the valid `mr × nr` corner of a register tile.
+#[inline]
+fn writeback32(
+    acc: &[[f32; MR]; NR],
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+) {
+    for (q, accq) in acc.iter().enumerate().take(nr) {
+        let col = &mut c.col_mut(j0 + q)[i0..i0 + mr];
+        for (r, cij) in col.iter_mut().enumerate() {
+            *cij += alpha * f64::from(accq[r]);
+        }
+    }
+}
+
+/// Tile sweep over one packed panel pair; `f32` twin of the f64 engine's
+/// `multiply_panels`, with the same global-triangle cut for SYRK.
+#[allow(clippy::too_many_arguments)]
+fn multiply_panels32(
+    pa: &[f32],
+    pb: &[f32],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    i0: usize,
+    j0: usize,
+    triangle_only: bool,
+) {
+    let a_slabs = mc.div_ceil(MR);
+    let b_slabs = nc.div_ceil(NR);
+    for bs in 0..b_slabs {
+        let nr = NR.min(nc - bs * NR);
+        let jl = j0 + bs * NR;
+        let pb_slab = &pb[bs * NR * kc..(bs * NR * kc) + NR * kc];
+        for as_ in 0..a_slabs {
+            let mr = MR.min(mc - as_ * MR);
+            let ig = i0 + as_ * MR;
+            if triangle_only && jl + nr <= ig {
+                continue;
+            }
+            let mut acc = [[0.0f32; MR]; NR];
+            microkernel32(
+                &pa[as_ * MR * kc..(as_ * MR * kc) + MR * kc],
+                pb_slab,
+                &mut acc,
+            );
+            writeback32(&acc, alpha, c, ig, mr, jl, nr);
+        }
+    }
+}
+
+/// Blocked `C += alpha * op(A) * op(B)` with the multiply accumulated in
+/// `f32` (inputs demoted at packing, each `KC`-sliver tile summed in f32
+/// registers, promoted once at writeback). Caller handles `beta` and
+/// degenerate shapes, exactly as for the f64 engine.
+pub fn gemm_accumulate_f32(
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+) {
+    let t = tune::tuning();
+    let (m, k) = ta.dims(&a);
+    let n = c.cols();
+    debug_assert!(m > 0 && n > 0 && k > 0 && alpha != 0.0);
+
+    let mut pa = vec![0.0f32; m.min(t.mc).div_ceil(MR) * MR * k.min(t.kc)];
+    let mut pb = vec![0.0f32; n.min(t.nc).div_ceil(NR) * NR * k.min(t.kc)];
+
+    for j0 in (0..n).step_by(t.nc) {
+        let nc = t.nc.min(n - j0);
+        for k0 in (0..k).step_by(t.kc) {
+            let kc = t.kc.min(k - k0);
+            pack_b32(tb, &b, k0, kc, j0, nc, &mut pb);
+            for i0 in (0..m).step_by(t.mc) {
+                let mc = t.mc.min(m - i0);
+                pack_a32(ta, &a, i0, mc, k0, kc, &mut pa);
+                multiply_panels32(&pa, &pb, mc, nc, kc, alpha, c, i0, j0, false);
+            }
+        }
+    }
+}
+
+/// Naive `f32`-accumulation GEMM for sub-blocking sizes: the dispatch twin
+/// of [`crate::reference`] for the reduced-precision path (each output
+/// entry is one f32 dot product of the demoted operands).
+pub fn gemm_ref_f32(
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+) {
+    let (m, k) = ta.dims(&a);
+    let n = c.cols();
+    for j in 0..n {
+        let col = c.col_mut(j);
+        for (i, cij) in col.iter_mut().enumerate().take(m) {
+            let mut s = 0.0f32;
+            for l in 0..k {
+                let al = match ta {
+                    Trans::No => a.at(i, l),
+                    Trans::Yes => a.at(l, i),
+                };
+                let bl = match tb {
+                    Trans::No => b.at(l, j),
+                    Trans::Yes => b.at(j, l),
+                };
+                s += demote(al) * demote(bl);
+            }
+            *cij += alpha * f64::from(s);
+        }
+    }
+}
+
+/// Blocked symmetric rank-k update with `f32` accumulation:
+/// `C = alpha·AᵀA` ([`SyrkShape::TransposeA`]) or `C = alpha·A Aᵀ`
+/// ([`SyrkShape::TransposeB`]), computing only upper-triangle tiles and
+/// mirroring — the reduced-precision twin of [`crate::block::syrk`].
+pub fn syrk_f32(a: MatRef<'_>, alpha: f64, shape: SyrkShape) -> Matrix {
+    let t = tune::tuning();
+    let (ta, tb) = match shape {
+        SyrkShape::TransposeA => (Trans::Yes, Trans::No),
+        SyrkShape::TransposeB => (Trans::No, Trans::Yes),
+    };
+    let (n, k) = ta.dims(&a);
+    let mut c = Matrix::zeros(n, n);
+    if n == 0 || k == 0 || alpha == 0.0 {
+        return c;
+    }
+
+    {
+        let mut cv = c.view_mut();
+        let mut pa = vec![0.0f32; n.min(t.mc).div_ceil(MR) * MR * k.min(t.kc)];
+        let mut pb = vec![0.0f32; n.min(t.nc).div_ceil(NR) * NR * k.min(t.kc)];
+        for j0 in (0..n).step_by(t.nc) {
+            let nc = t.nc.min(n - j0);
+            for k0 in (0..k).step_by(t.kc) {
+                let kc = t.kc.min(k - k0);
+                pack_b32(tb, &a, k0, kc, j0, nc, &mut pb);
+                for i0 in (0..n).step_by(t.mc) {
+                    if i0 > j0 + nc {
+                        continue;
+                    }
+                    let mc = t.mc.min(n - i0);
+                    pack_a32(ta, &a, i0, mc, k0, kc, &mut pa);
+                    multiply_panels32(&pa, &pb, mc, nc, kc, alpha, &mut cv, i0, j0, true);
+                }
+            }
+        }
+    }
+    for j in 0..n {
+        for i in j + 1..n {
+            c[(i, j)] = c[(j, i)];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use rand::SeedableRng;
+
+    /// Componentwise bound for an f32-accumulated k-term product sum:
+    /// demotion contributes one half-ulp per operand, accumulation `k`
+    /// roundings — all at f32 epsilon, against the absolute-value sum.
+    fn f32_tol(k: usize, scale: f64) -> f64 {
+        (k as f64 + 4.0) * f64::from(f32::EPSILON) * scale.max(1.0)
+    }
+
+    fn check_gemm32(m: usize, n: usize, k: usize, ta: Trans, tb: Trans, alpha: f64, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = match ta {
+            Trans::No => Matrix::gaussian(m, k, &mut rng),
+            Trans::Yes => Matrix::gaussian(k, m, &mut rng),
+        };
+        let b = match tb {
+            Trans::No => Matrix::gaussian(k, n, &mut rng),
+            Trans::Yes => Matrix::gaussian(n, k, &mut rng),
+        };
+        let mut c = Matrix::zeros(m, n);
+        gemm_accumulate_f32(ta, a.view(), tb, b.view(), alpha, &mut c.view_mut());
+        let mut oracle = Matrix::zeros(m, n);
+        reference::gemm_v(ta, a.view(), tb, b.view(), alpha, 0.0, oracle.view_mut());
+        let scale = alpha.abs() * (k as f64).sqrt() * 4.0;
+        let tol = f32_tol(k, scale);
+        assert!(
+            c.max_abs_diff(&oracle) < tol,
+            "({m},{n},{k}) {ta:?} {tb:?}: {} vs tol {tol}",
+            c.max_abs_diff(&oracle)
+        );
+    }
+
+    #[test]
+    fn f32_blocked_tracks_f64_oracle_all_transpose_combos() {
+        let t = tune::tuning();
+        let mut seed = 500u64;
+        for &(m, n, k) in &[
+            (3usize, 2usize, 5usize),
+            (MR + 1, NR + 1, t.kc + 3),
+            (65, 33, 129),
+            (5, 80, 300),
+        ] {
+            for &ta in &[Trans::No, Trans::Yes] {
+                for &tb in &[Trans::No, Trans::Yes] {
+                    seed += 1;
+                    check_gemm32(m, n, k, ta, tb, 1.0, seed);
+                }
+            }
+        }
+        check_gemm32(33, 29, 300, Trans::No, Trans::Yes, -2.5, 999);
+    }
+
+    #[test]
+    fn f32_ref_and_blocked_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let (m, n, k) = (21, 13, 40);
+        let a = Matrix::gaussian(m, k, &mut rng);
+        let b = Matrix::gaussian(k, n, &mut rng);
+        let mut c_blk = Matrix::zeros(m, n);
+        let mut c_ref = Matrix::zeros(m, n);
+        gemm_accumulate_f32(
+            Trans::No,
+            a.view(),
+            Trans::No,
+            b.view(),
+            1.0,
+            &mut c_blk.view_mut(),
+        );
+        gemm_ref_f32(
+            Trans::No,
+            a.view(),
+            Trans::No,
+            b.view(),
+            1.0,
+            &mut c_ref.view_mut(),
+        );
+        // Both accumulate in f32 over the same k order grouping-free vs
+        // KC-grouped: equal to f32 accuracy.
+        assert!(c_blk.max_abs_diff(&c_ref) < f32_tol(k, 8.0));
+    }
+
+    #[test]
+    fn f32_syrk_tracks_f64_oracle_and_stays_symmetric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+        for &(rows, cols) in &[(200usize, 40usize), (40, 17), (1, 5)] {
+            let a = Matrix::gaussian(rows, cols, &mut rng);
+            let tn = syrk_f32(a.view(), 1.5, SyrkShape::TransposeA);
+            let tn_ref = reference::syrk_v(a.view(), 1.5);
+            let tol = f32_tol(rows, 1.5 * (rows as f64).sqrt() * 4.0);
+            assert!(
+                tn.max_abs_diff(&tn_ref) < tol,
+                "TN {rows}x{cols}: {}",
+                tn.max_abs_diff(&tn_ref)
+            );
+            let nt = syrk_f32(a.view(), -0.5, SyrkShape::TransposeB);
+            let nt_ref = reference::syrk_nt_v(a.view(), -0.5);
+            let tol = f32_tol(cols, 0.5 * (cols as f64).sqrt() * 4.0);
+            assert!(nt.max_abs_diff(&nt_ref) < tol, "NT {rows}x{cols}");
+            for i in 0..tn.rows() {
+                for j in 0..tn.cols() {
+                    assert_eq!(tn[(i, j)], tn[(j, i)], "exact symmetry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_operands_yield_zero() {
+        let a = Matrix::zeros(0, 4);
+        let s = syrk_f32(a.view(), 1.0, SyrkShape::TransposeA);
+        assert_eq!(s.shape(), (4, 4));
+        assert_eq!(s.max_abs(), 0.0);
+    }
+}

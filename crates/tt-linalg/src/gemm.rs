@@ -74,13 +74,15 @@ pub fn kernel_choice(m: usize, n: usize, k: usize) -> Kernel {
 }
 
 /// Worker-thread count a `m × n × k` multiply would be granted right now:
-/// 1 below [`crate::par::PAR_FLOP_THRESHOLD`] (fork/join overhead never
-/// touches small bond-update GEMMs), otherwise the `TT_NUM_THREADS`
-/// configuration capped by the machine share (see [`crate::par`]). The
-/// companion to [`kernel_choice`] for the parallel dispatch decision; the
-/// blocked engine applies the same policy internally.
+/// 1 below the autotuned flop floor (fork/join overhead never touches
+/// small bond-update GEMMs) or the arithmetic-intensity floor
+/// (memory-bound shapes only add contention when threaded), otherwise the
+/// `TT_NUM_THREADS` configuration capped by the machine share (see
+/// [`crate::par`] and [`crate::tune`]). The companion to [`kernel_choice`]
+/// for the parallel dispatch decision; the blocked engine applies the same
+/// policy internally.
 pub fn parallel_threads(m: usize, n: usize, k: usize) -> usize {
-    crate::par::planned_threads(gemm_flops(m, n, k))
+    crate::par::planned_threads(crate::par::Work::gemm(m, n, k))
 }
 
 /// `C = alpha * op(A) * op(B)`, allocating the result.
@@ -201,6 +203,87 @@ pub fn syrk_nt_v(a: MatRef<'_>, alpha: f64) -> Matrix {
     }
 }
 
+/// `C = alpha * op(A) * op(B) + beta * C` with the multiply accumulated in
+/// **f32** (see [`crate::block32`]). Same dispatcher policy as [`gemm_v`]:
+/// sub-threshold problems run the naive f32 loops, larger ones the blocked
+/// f32 engine; paranoid sampling verifies against f64 dot products with
+/// f32-epsilon-scaled tolerances. Opt-in via the rounding options — the
+/// accuracy floor is `sqrt(eps_f32) ≈ 3.4e-4` relative.
+pub fn gemm_f32_v(
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    alpha: f64,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let (m, ka) = ta.dims(&a);
+    let (kb, n) = tb.dims(&b);
+    assert_eq!(
+        ka, kb,
+        "gemm_f32 inner dimensions must agree ({ka} vs {kb})"
+    );
+    assert_eq!(c.shape(), (m, n), "gemm_f32 output shape mismatch");
+    crate::paranoid::check_finite("gemm_f32", "A", a.as_slice());
+    crate::paranoid::check_finite("gemm_f32", "B", b.as_slice());
+    crate::paranoid::check_finite_scalar("gemm_f32", "alpha", alpha);
+    crate::paranoid::check_finite_scalar("gemm_f32", "beta", beta);
+    let k = ka;
+
+    let samples = sample_entries_before(m, n, beta, &c);
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha != 0.0 && m > 0 && n > 0 && k > 0 {
+        match kernel_choice(m, n, k) {
+            Kernel::Reference => crate::block32::gemm_ref_f32(ta, a, tb, b, alpha, &mut c),
+            Kernel::Blocked => crate::block32::gemm_accumulate_f32(ta, a, tb, b, alpha, &mut c),
+        }
+    }
+    verify_samples_eps(ta, a, tb, b, alpha, beta, &c, k, &samples, F32_ACC_EPS);
+}
+
+/// View-based symmetric rank-k update `C = alpha * Aᵀ A` accumulated in
+/// **f32** — the reduced-precision twin of [`syrk_v`] for the Gram path.
+pub fn syrk_f32_v(a: MatRef<'_>, alpha: f64) -> Matrix {
+    crate::paranoid::check_finite("syrk_f32", "A", a.as_slice());
+    crate::paranoid::check_finite_scalar("syrk_f32", "alpha", alpha);
+    let (k, _n) = a.shape();
+    let c = crate::block32::syrk_f32(a, alpha, block::SyrkShape::TransposeA);
+    verify_syrk_samples_eps(
+        "syrk_f32",
+        &c,
+        |i, j| alpha * reference::dot(a.col(i), a.col(j)),
+        (k as f64 + 8.0) * F32_ACC_EPS,
+    );
+    c
+}
+
+/// View-based `C = alpha * A Aᵀ` accumulated in **f32** — the
+/// reduced-precision twin of [`syrk_nt_v`] for the symmetric Gram sweep.
+pub fn syrk_nt_f32_v(a: MatRef<'_>, alpha: f64) -> Matrix {
+    crate::paranoid::check_finite("syrk_nt_f32", "A", a.as_slice());
+    crate::paranoid::check_finite_scalar("syrk_nt_f32", "alpha", alpha);
+    let (_m, k) = a.shape();
+    let c = crate::block32::syrk_f32(a, alpha, block::SyrkShape::TransposeB);
+    verify_syrk_samples_eps(
+        "syrk_nt_f32",
+        &c,
+        |i, j| {
+            let mut s = 0.0;
+            for l in 0..k {
+                s += a.at(i, l) * a.at(j, l);
+            }
+            alpha * s
+        },
+        (k as f64 + 8.0) * F32_ACC_EPS,
+    );
+    c
+}
+
 /// Flop count of a `gemm` with these dimensions (2·m·n·k), used by the
 /// performance-model instrumentation and the γ calibration. By construction
 /// this is the flop count of the *blocked* kernel [`kernel_choice`] selects
@@ -243,6 +326,11 @@ fn sample_entries_before(
         .collect()
 }
 
+/// The unit roundoff the paranoid checks assume for the f32-accumulation
+/// path: every partial sum lives in `f32`, so its epsilon bounds the
+/// componentwise error, not `f64`'s.
+const F32_ACC_EPS: f64 = f32::EPSILON as f64;
+
 /// Verifies the sampled entries of a blocked GEMM against dot products
 /// computed directly from the unpacked operands — the reference oracle at
 /// O(samples·k) cost. Panics with a kernel-naming diagnostic on mismatch.
@@ -257,6 +345,24 @@ fn verify_samples(
     c: &MatMut<'_>,
     k: usize,
     samples: &[(usize, usize, f64)],
+) {
+    verify_samples_eps(ta, a, tb, b, alpha, beta, c, k, samples, crate::EPS);
+}
+
+/// [`verify_samples`] parameterized by the accumulation unit roundoff, so
+/// the same oracle covers the f64 and f32 engines.
+#[allow(clippy::too_many_arguments)]
+fn verify_samples_eps(
+    ta: Trans,
+    a: MatRef<'_>,
+    tb: Trans,
+    b: MatRef<'_>,
+    alpha: f64,
+    beta: f64,
+    c: &MatMut<'_>,
+    k: usize,
+    samples: &[(usize, usize, f64)],
+    eps: f64,
 ) {
     if samples.is_empty() {
         return;
@@ -278,7 +384,7 @@ fn verify_samples(
         }
         let expect = alpha * s + beta * c0;
         let scale = alpha.abs() * abs + (beta * c0).abs() + 1.0;
-        let tol = (k as f64 + 8.0) * 8.0 * crate::EPS * scale;
+        let tol = (k as f64 + 8.0) * 8.0 * eps * scale;
         let got = c.as_ref().at(i, j);
         if (got - expect).abs() > tol {
             // analyze::allow(panic_surface): paranoid-mode oracle check — a wrong kernel result must abort, continuing would corrupt every downstream factorization
@@ -294,6 +400,18 @@ fn verify_samples(
 /// SYRK analogue of [`verify_samples`]: checks diagonal-adjacent samples of
 /// the symmetric result against directly computed entries.
 fn verify_syrk_samples(kernel: &str, c: &Matrix, entry: impl Fn(usize, usize) -> f64) {
+    verify_syrk_samples_eps(kernel, c, entry, 1e-10);
+}
+
+/// [`verify_syrk_samples`] parameterized by the relative tolerance, so the
+/// same oracle covers the f64 (1e-10) and f32-accumulation (k·eps_f32)
+/// engines.
+fn verify_syrk_samples_eps(
+    kernel: &str,
+    c: &Matrix,
+    entry: impl Fn(usize, usize) -> f64,
+    rel: f64,
+) {
     if !crate::paranoid::enabled() {
         return;
     }
@@ -307,7 +425,7 @@ fn verify_syrk_samples(kernel: &str, c: &Matrix, entry: impl Fn(usize, usize) ->
         let flat = s * stride;
         let (i, j) = (flat % n, flat / n);
         let expect = entry(i, j);
-        let tol = 1e-10 * (1.0 + expect.abs()) + 1e-12;
+        let tol = rel * (1.0 + expect.abs()) + 1e-12;
         let got = c[(i, j)];
         if (got - expect).abs() > tol {
             // analyze::allow(panic_surface): paranoid-mode oracle check — a wrong kernel result must abort, continuing would corrupt every downstream factorization

@@ -23,10 +23,18 @@
 //! All kernels are deterministic and allocation-conscious; hot paths take
 //! output buffers where it matters. Numerical conventions follow LAPACK:
 //! eigenvalues ascending, singular values descending, thin factorizations.
+//!
+//! The optional `simd` cargo feature swaps the blocked engine's register
+//! microkernels for explicit `std::simd` implementations (portable SIMD is
+//! a nightly feature, hence the gate — the default build stays on stable).
+//! Results remain bitwise reproducible per (feature, thread-count)
+//! configuration; [`reference`] is the conformance oracle for both.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod block;
+pub mod block32;
 pub mod chol;
 pub mod eig;
 pub mod gemm;
@@ -39,14 +47,15 @@ pub mod rng;
 pub mod svd;
 pub mod svd_gk;
 pub mod tri;
+pub mod tune;
 pub mod view;
 
 pub use block::SyrkShape;
 pub use chol::{cholesky, pivoted_cholesky, PivotedCholesky};
 pub use eig::{eigh, EigH};
 pub use gemm::{
-    gemm, gemm_alloc, gemm_flops, gemm_into, gemm_v, kernel_choice, parallel_threads, syrk,
-    syrk_nt_v, syrk_v, Kernel, Trans,
+    gemm, gemm_alloc, gemm_f32_v, gemm_flops, gemm_into, gemm_v, kernel_choice, parallel_threads,
+    syrk, syrk_f32_v, syrk_nt_f32_v, syrk_nt_v, syrk_v, Kernel, Trans,
 };
 pub use matrix::Matrix;
 pub use qr::{blocked_qr, householder_qr, householder_qr_unblocked, qr_stacked_pair, QrFactors};

@@ -33,9 +33,20 @@
 //!
 //! Tests and benches bypass the environment with [`with_threads`], which
 //! forces an exact thread count for the current thread's kernel calls
-//! (ignoring both the flop threshold and the oversubscription cap, so
-//! determinism suites can exercise multi-threaded chunking on any box,
-//! including single-core CI runners).
+//! (ignoring the flop and arithmetic-intensity gates and the
+//! oversubscription cap, so determinism suites can exercise
+//! multi-threaded chunking on any box, including single-core CI runners).
+//!
+//! # Dispatch gates
+//!
+//! A kernel fans out only when its [`Work`] profile clears *two*
+//! autotuned floors (see [`crate::tune`]): a flop floor (spawn overhead
+//! amortization) and an arithmetic-intensity floor (flops per byte of
+//! memory traffic). The second gate is what keeps memory-bound shapes —
+//! tall-skinny TSQR leaves, narrow QR trailing updates — sequential:
+//! their working set streams from DRAM, so added threads fight for the
+//! same bus and lose (the original flat flop threshold fanned them out
+//! and measurably regressed).
 //!
 //! # Why scoped threads and no channels
 //!
@@ -53,11 +64,61 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
-/// Flop count (2·m·n·k) below which a multiply never fans out: under ~96³
-/// the fork/join overhead (tens of microseconds per worker) is comparable
-/// to the multiply itself, while every unfolding contraction and
-/// calibration GEMM on the hot path sits far above it.
-pub const PAR_FLOP_THRESHOLD: f64 = 2.0 * 96.0 * 96.0 * 96.0;
+use crate::tune;
+
+/// Default flop count (2·m·n·k) below which a multiply never fans out:
+/// under ~96³ the fork/join overhead (tens of microseconds per worker) is
+/// comparable to the multiply itself, while every unfolding contraction
+/// and calibration GEMM on the hot path sits far above it. The effective
+/// floor is autotuned/overridable — see [`crate::tune`].
+pub const PAR_FLOP_THRESHOLD: f64 = tune::DEFAULT_PAR_FLOP_FLOOR;
+
+/// A kernel's work descriptor for the dispatch decision: raw flop volume
+/// plus an estimate of the bytes the blocked sweep must move (operand
+/// reads + packing + output writeback). The ratio is the arithmetic
+/// intensity; memory-bound shapes (low intensity) never fan out because
+/// extra threads only add memory-bus contention — the committed
+/// `BENCH_kernels_par.json` baseline that motivated this gate showed
+/// 4-thread SYRK 47% *slower* than 1-thread on such a shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Work {
+    /// Floating-point operations the kernel will execute.
+    pub flops: f64,
+    /// Estimated bytes of memory traffic (8 bytes per f64 element).
+    pub bytes: f64,
+}
+
+impl Work {
+    /// `C += op(A)·op(B)` with `op(A)` `m×k`, `op(B)` `k×n`: `2mnk` flops
+    /// against reading both operands once and read-modify-writing `C`.
+    pub fn gemm(m: usize, n: usize, k: usize) -> Self {
+        let (m, n, k) = (m as f64, n as f64, k as f64);
+        Work {
+            flops: 2.0 * m * n * k,
+            bytes: 8.0 * (m * k + k * n + 2.0 * m * n),
+        }
+    }
+
+    /// Symmetric rank-k update producing an `n×n` Gram matrix from an
+    /// operand with `n·k` entries: half a GEMM's arithmetic (only the
+    /// triangle is computed) against one operand read plus the output.
+    pub fn syrk(n: usize, k: usize) -> Self {
+        let (n, k) = (n as f64, k as f64);
+        Work {
+            flops: n * n * k,
+            bytes: 8.0 * (n * k + n * n),
+        }
+    }
+
+    /// Flops per byte moved; infinite for degenerate zero-byte work.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
 
 /// Hard ceiling on any configured or forced thread count, so a malformed
 /// `TT_NUM_THREADS` cannot ask for an absurd spawn storm.
@@ -109,9 +170,10 @@ pub fn hardware_threads() -> usize {
 /// `threads` workers (clamped to `[1, MAX_THREADS]`), restoring the previous
 /// setting afterwards even if `f` panics.
 ///
-/// The override bypasses [`PAR_FLOP_THRESHOLD`] and the oversubscription
-/// cap: it exists so determinism tests and `kernels_par_*` benches can pin
-/// exact 1-vs-N comparisons on any machine.
+/// The override bypasses the flop/intensity dispatch gates and the
+/// oversubscription cap: it exists so determinism tests and
+/// `kernels_par_*` benches can pin exact 1-vs-N comparisons on any
+/// machine.
 pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     struct Restore(Option<usize>);
     impl Drop for Restore {
@@ -124,20 +186,34 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// The thread count a kernel of this flop volume would be given right now
-/// on the current thread (override, then threshold + config + cap). Pure
-/// query — does not enter a region.
-pub fn planned_threads(flops: f64) -> usize {
-    planned(flops, IN_FLIGHT.load(Ordering::Relaxed))
+/// The thread count a kernel of this work profile would be given right now
+/// on the current thread (override, then flop/intensity gates + config +
+/// cap). Pure query — does not enter a region.
+pub fn planned_threads(work: Work) -> usize {
+    planned(work, IN_FLIGHT.load(Ordering::Relaxed))
+}
+
+/// Whether this work profile clears both autotuned dispatch gates: enough
+/// flops to amortize the fork/join, and enough arithmetic intensity that
+/// extra cores bring extra flop throughput rather than contention on the
+/// same memory bus.
+pub fn admits_parallel(work: Work) -> bool {
+    let t = tune::tuning();
+    admits(work, t.par_flop_floor, t.par_intensity_floor)
+}
+
+/// Pure, environment-free form of [`admits_parallel`] for unit tests.
+fn admits(work: Work, flop_floor: f64, intensity_floor: f64) -> bool {
+    work.flops >= flop_floor && work.intensity() >= intensity_floor
 }
 
 /// Cap/threshold policy, factored out so it is unit-testable: `in_flight`
 /// is the number of *other* parallel regions already running.
-fn planned(flops: f64, in_flight: usize) -> usize {
+fn planned(work: Work, in_flight: usize) -> usize {
     if let Some(forced) = OVERRIDE.with(Cell::get) {
         return forced.max(1);
     }
-    if flops < PAR_FLOP_THRESHOLD {
+    if !admits_parallel(work) {
         return 1;
     }
     let cfg = configured_threads();
@@ -168,11 +244,11 @@ impl Drop for Region {
     }
 }
 
-/// Opens a parallel region for a kernel of the given flop volume. The
+/// Opens a parallel region for a kernel with the given work profile. The
 /// returned [`Region`] carries the granted thread count and keeps the
 /// region counted in the oversubscription tracker until dropped.
-pub fn region(flops: f64) -> Region {
-    let threads = planned(flops, IN_FLIGHT.load(Ordering::Relaxed));
+pub fn region(work: Work) -> Region {
+    let threads = planned(work, IN_FLIGHT.load(Ordering::Relaxed));
     let counted = threads > 1;
     if counted {
         IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
@@ -344,11 +420,15 @@ mod tests {
 
     #[test]
     fn planned_respects_threshold_and_cap() {
-        // Below the threshold: always sequential (no override in place).
-        assert_eq!(planned(PAR_FLOP_THRESHOLD - 1.0, 0), 1);
+        // Below the flop floor: always sequential (no override in place).
+        let tiny = Work {
+            flops: PAR_FLOP_THRESHOLD - 1.0,
+            bytes: 1.0,
+        };
+        assert_eq!(planned(tiny, 0), 1);
         // Above it the grant is bounded by both config and the machine
         // share; with in-flight regions the share shrinks.
-        let big = PAR_FLOP_THRESHOLD * 64.0;
+        let big = Work::gemm(512, 512, 512);
         let grant0 = planned(big, 0);
         assert!(grant0 >= 1 && grant0 <= configured_threads().max(1));
         let grant8 = planned(big, 8);
@@ -357,8 +437,46 @@ mod tests {
     }
 
     #[test]
+    fn intensity_gate_admits_compute_bound_shapes_only() {
+        let ff = tune::DEFAULT_PAR_FLOP_FLOOR;
+        let fi = tune::DEFAULT_PAR_INTENSITY_FLOOR;
+        // The two committed bench shapes must fan out: a square 512³ GEMM
+        // (intensity ≈ 32 flops/byte) and the deep 60000×64 Gram SYRK
+        // (intensity ≈ 8).
+        assert!(admits(Work::gemm(512, 512, 512), ff, fi));
+        assert!(admits(Work::syrk(64, 60000), ff, fi));
+        // Tall-skinny TSQR leaves and narrow QR trailing updates carry
+        // plenty of flops but stream their operands once (intensity < 4):
+        // fanning them out loses, so the gate must keep them sequential.
+        assert!(!admits(Work::gemm(40000, 20, 20), ff, fi));
+        assert!(!admits(Work::gemm(8000, 96, 32), ff, fi));
+        // Small cache-resident multiplies stop at the flop floor.
+        assert!(!admits(Work::gemm(64, 64, 64), ff, fi));
+    }
+
+    #[test]
+    fn work_profiles_match_hand_counts() {
+        let g = Work::gemm(10, 20, 30);
+        assert_eq!(g.flops, 2.0 * 10.0 * 20.0 * 30.0);
+        assert_eq!(g.bytes, 8.0 * (300.0 + 600.0 + 400.0));
+        let s = Work::syrk(10, 30);
+        assert_eq!(s.flops, 100.0 * 30.0);
+        assert_eq!(s.bytes, 8.0 * (300.0 + 100.0));
+        assert!(Work {
+            flops: 5.0,
+            bytes: 0.0
+        }
+        .intensity()
+        .is_infinite());
+    }
+
+    #[test]
     fn override_forces_exact_count_and_restores() {
-        let tiny = 8.0; // far below the threshold
+        // Far below the flop floor.
+        let tiny = Work {
+            flops: 8.0,
+            bytes: 8.0,
+        };
         assert_eq!(planned_threads(tiny), 1);
         let inner = with_threads(3, || {
             let nested = with_threads(7, || planned_threads(tiny));
@@ -371,9 +489,14 @@ mod tests {
 
     #[test]
     fn override_clamps_degenerate_counts() {
-        assert_eq!(with_threads(0, || planned_threads(1e12)), 1);
+        let huge = Work::gemm(4096, 4096, 4096);
+        let tiny = Work {
+            flops: 1.0,
+            bytes: 1.0,
+        };
+        assert_eq!(with_threads(0, || planned_threads(huge)), 1);
         assert_eq!(
-            with_threads(MAX_THREADS * 10, || planned_threads(1.0)),
+            with_threads(MAX_THREADS * 10, || planned_threads(tiny)),
             MAX_THREADS
         );
     }
@@ -383,7 +506,10 @@ mod tests {
         with_threads(4, || {
             let before = IN_FLIGHT.load(Ordering::Relaxed);
             {
-                let r = region(1.0);
+                let r = region(Work {
+                    flops: 1.0,
+                    bytes: 1.0,
+                });
                 assert_eq!(r.threads(), 4);
                 assert_eq!(IN_FLIGHT.load(Ordering::Relaxed), before + 1);
             }

@@ -73,29 +73,35 @@ mod tests {
         check_dims("test_kernel", true, || unreachable!());
     }
 
-    // The negative tests only make sense when the checks are compiled in,
-    // which is always true under `cargo test` (debug_assertions).
-    #[test]
-    #[should_panic(expected = "non-finite value")]
-    fn nan_is_caught() {
-        check_finite("test_kernel", "A", &[1.0, f64::NAN, 3.0]);
-    }
+    // The negative tests only make sense when the checks are compiled in
+    // (debug builds or the `paranoid` feature); a plain release test run
+    // compiles the checks out, so the tests are gated the same way.
+    #[cfg(any(debug_assertions, feature = "paranoid"))]
+    mod armed {
+        use super::*;
 
-    #[test]
-    #[should_panic(expected = "non-finite value")]
-    fn infinity_is_caught() {
-        check_finite("test_kernel", "A", &[f64::INFINITY]);
-    }
+        #[test]
+        #[should_panic(expected = "non-finite value")]
+        fn nan_is_caught() {
+            check_finite("test_kernel", "A", &[1.0, f64::NAN, 3.0]);
+        }
 
-    #[test]
-    #[should_panic(expected = "alpha")]
-    fn non_finite_scalar_is_caught() {
-        check_finite_scalar("test_kernel", "alpha", f64::NAN);
-    }
+        #[test]
+        #[should_panic(expected = "non-finite value")]
+        fn infinity_is_caught() {
+            check_finite("test_kernel", "A", &[f64::INFINITY]);
+        }
 
-    #[test]
-    #[should_panic(expected = "dimension invariant")]
-    fn dim_violation_is_caught() {
-        check_dims("test_kernel", false, || "rows 3 != cols 4".to_string());
+        #[test]
+        #[should_panic(expected = "alpha")]
+        fn non_finite_scalar_is_caught() {
+            check_finite_scalar("test_kernel", "alpha", f64::NAN);
+        }
+
+        #[test]
+        #[should_panic(expected = "dimension invariant")]
+        fn dim_violation_is_caught() {
+            check_dims("test_kernel", false, || "rows 3 != cols 4".to_string());
+        }
     }
 }

@@ -34,6 +34,9 @@ fn usage() {
          including the interprocedural call-graph passes (collective_order, determinism, alloc_hot_path)\n                         \
          (--format text|json|sarif, --list-passes, --stats, --jobs N, --no-cache,\n                         \
          --no-check-suppressions; suppress with `// analyze::allow(<pass>): reason`)\n  \
-         bench-check [--record] run kernels_* benches; gate blocked-GEMM speedup and >15% regressions vs results/BENCH_kernels.json"
+         bench-check [--record] [--simd]\n                         \
+         run kernels_* benches; gate blocked-GEMM speedup (min-time floors) and >15% mean-time\n                         \
+         regressions vs results/BENCH_kernels*.json; --simd gates the `simd` feature build\n                         \
+         against `_simd`-suffixed baselines with a 3x GEMM floor"
     );
 }

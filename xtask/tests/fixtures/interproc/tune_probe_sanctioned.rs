@@ -1,0 +1,30 @@
+//! `determinism` sanctioning of the runtime-autotune probe: functions
+//! named `tune_probe*` are the one-shot hardware/configuration probe
+//! surface (their reads are memoized into a process-lifetime constant),
+//! so their environment reads neither fire in place nor taint hot-path
+//! callers — while the identical read outside the naming convention, on
+//! the same hot path, still fires.
+
+/// Hot root (`gemm` prefix) reaching the probe through a direct call:
+/// the whole chain stays silent.
+pub fn gemm_tuned(x: f64) -> f64 {
+    let (mc, kc) = tune_probe_block_sizes();
+    x * (mc + kc) as f64
+}
+
+/// Probe: reads the environment once at first use. Sanctioned by name.
+fn tune_probe_block_sizes() -> (usize, usize) {
+    match std::env::var("TT_FIXTURE_BLOCK_MC") {
+        Ok(v) => (v.len(), 256),
+        Err(_) => (128, 256),
+    }
+}
+
+/// Control: the same environment read outside the probe naming
+/// convention, directly inside a hot root — still fires.
+pub fn gemm_knobbed(x: f64) -> f64 {
+    match std::env::var("TT_FIXTURE_KNOB") {
+        Ok(_) => x + 1.0,
+        Err(_) => x,
+    }
+}
