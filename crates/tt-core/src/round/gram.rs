@@ -58,7 +58,7 @@ impl SweepScratch {
     /// (smallest adequate capacity wins, so a big retired core buffer is not
     /// burned on a tiny Gram output), freshly allocated otherwise. Contents
     /// are zeroed either way.
-    fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+    pub(crate) fn take(&mut self, rows: usize, cols: usize) -> Matrix {
         let need = rows * cols;
         let mut best: Option<(usize, usize)> = None;
         for (pos, buf) in self.free.iter().enumerate() {
@@ -83,7 +83,7 @@ impl SweepScratch {
     }
 
     /// Returns a retired matrix's buffer to the pool.
-    fn recycle(&mut self, m: Matrix) {
+    pub(crate) fn recycle(&mut self, m: Matrix) {
         let buf = m.into_vec();
         if buf.capacity() > 0 {
             self.free.push(buf);
@@ -91,7 +91,7 @@ impl SweepScratch {
     }
 
     /// Returns a retired core's buffer to the pool.
-    fn recycle_core(&mut self, c: TtCore) {
+    pub(crate) fn recycle_core(&mut self, c: TtCore) {
         self.recycle(c.into_v());
     }
 }
@@ -105,7 +105,7 @@ pub(crate) fn premult_h(core: &TtCore, w: &Matrix) -> TtCore {
 }
 
 /// [`premult_h`] writing into a scratch-pool buffer.
-fn premult_h_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
+pub(crate) fn premult_h_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
     assert_eq!(w.cols(), core.r0(), "premult_h: dimension mismatch");
     let mut out = s.take(w.rows(), core.mode_dim() * core.r1());
     gemm_v(
@@ -129,7 +129,7 @@ pub(crate) fn postmult_v(core: &TtCore, w: &Matrix) -> TtCore {
 }
 
 /// [`postmult_v`] writing into a scratch-pool buffer.
-fn postmult_v_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
+pub(crate) fn postmult_v_s(core: &TtCore, w: &Matrix, s: &mut SweepScratch) -> TtCore {
     assert_eq!(w.rows(), core.r1(), "postmult_v: dimension mismatch");
     let mut out = s.take(core.r0() * core.mode_dim(), w.cols());
     gemm_v(

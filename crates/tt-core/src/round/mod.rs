@@ -23,7 +23,10 @@ pub use gram::{
     round_gram_seq_dist_owned, round_gram_sim_dist, round_gram_sim_dist_owned,
 };
 pub use qr::round_qr_dist;
-pub use random::{round_randomized, round_randomized_dist, RandomizedOptions};
+pub use random::{
+    round_randomized, round_randomized_dist, round_randomized_dist_report, round_randomized_report,
+    BondSketch, RandomizedOptions, RandomizedReport, RandomizedVariant,
+};
 pub use truncate::{BondTruncation, SingularSide};
 pub use tsqr::tsqr;
 

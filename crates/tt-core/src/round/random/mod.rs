@@ -1,0 +1,454 @@
+//! Randomized TT-Rounding — the paper's stated future-work direction
+//! (§VI: "we plan in the future to study randomized methods to perform
+//! rounding procedures ... they reduce arithmetic further and also rely on
+//! matrix multiplication"), grown into the published successor family:
+//!
+//! * [`RandomizedVariant::RandThenOrth`] — *randomize-then-orthogonalize*
+//!   (Al Daas, Ballard, Cazeaux, Hallman, et al., "Randomized algorithms
+//!   for rounding in the tensor-train format", SISC 2023 / arXiv
+//!   2110.04393 Alg. 3.3): sketch every unfolding with a random TT tensor,
+//!   then one left-to-right pass orthogonalizing the small sketched
+//!   matrices. Cheapest; no error estimate.
+//! * [`RandomizedVariant::OrthThenRand`] — *orthogonalize-then-randomize*
+//!   (arXiv 2110.04393 Alg. 3.2): right-orthogonalize first, then sketch
+//!   with small replicated Gaussians. One extra TSQR sweep buys a
+//!   *computable* per-bond error bound ([`RandomizedReport::certified_error`])
+//!   because the trailing cores stay row-orthonormal while truncating.
+//! * [`RandomizedVariant::TwoSided`] — *two-sided sketching* (the
+//!   generalized-Nyström / streaming-TT-approximation scheme of arXiv
+//!   2110.04393 §3.4): independent left and right random TT sketches, no
+//!   orthogonalization pass at all; cores are recovered through pseudo-
+//!   inverses of the small cross matrices `Ψ_b = U_b W_b`.
+//! * [`RandomizedVariant::AdaptiveKr`] — *adaptive Khatri–Rao rounding*
+//!   (arXiv 2511.03598): Khatri–Rao-structured sketch matrices whose column
+//!   count grows geometrically until a posterior ε estimate certifies
+//!   `‖X − Y‖ ≤ ε‖X‖`, removing the fixed-target-rank limitation of the
+//!   other three. Selected by the [`RandomizedOptions::epsilon`] builder.
+//!
+//! Every variant is written once against [`tt_comm::Communicator`] and
+//! parallelizes exactly like the Gram variants: replicated seeded sketches,
+//! local `gemm`s, one allreduce per mode per sweep, small factorizations
+//! done redundantly — so all rank decisions are taken identically on every
+//! rank from replicated (already-allreduced) quantities.
+
+mod adaptive;
+mod orth_then_rand;
+mod rand_then_orth;
+pub(crate) mod sketch;
+mod two_sided;
+
+use crate::tensor::TtTensor;
+use tt_comm::Communicator;
+
+/// Which member of the randomized-rounding family to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RandomizedVariant {
+    /// Randomize-then-orthogonalize (SISC 2023 Alg. 3.3) — the default.
+    #[default]
+    RandThenOrth,
+    /// Orthogonalize-then-randomize (Alg. 3.2); computable error bound.
+    OrthThenRand,
+    /// Two-sided sketching (generalized Nyström, §3.4); no orthogonalization.
+    TwoSided,
+    /// Adaptive Khatri–Rao sketching with an ε certificate (arXiv
+    /// 2511.03598); ignores the target ranks.
+    AdaptiveKr,
+}
+
+/// Options for randomized rounding.
+#[derive(Debug, Clone)]
+pub struct RandomizedOptions {
+    /// Target ranks after rounding (one per interior bond, or a single value
+    /// broadcast to all bonds via [`RandomizedOptions::uniform`]). Ignored by
+    /// [`RandomizedVariant::AdaptiveKr`], which derives ranks from `epsilon`.
+    pub target_ranks: Vec<usize>,
+    /// Oversampling added to every sketch rank (standard randomized-LA
+    /// practice; 5–10 gives high success probability). The adaptive variant
+    /// uses it as the initial Khatri–Rao column count.
+    pub oversampling: usize,
+    /// Seed for the sketch tensor (deterministic given the seed, and — in a
+    /// distributed run — must be identical on all ranks so the replicated
+    /// sketch cores agree).
+    pub seed: u64,
+    /// Which algorithm of the family to run.
+    pub variant: RandomizedVariant,
+    /// Relative accuracy target for [`RandomizedVariant::AdaptiveKr`]
+    /// (`‖X − Y‖ ≤ ε‖X‖`); `None` for the fixed-rank variants.
+    pub epsilon: Option<f64>,
+}
+
+impl RandomizedOptions {
+    /// Explicit per-bond target ranks, default everything else.
+    pub fn with_ranks(target_ranks: Vec<usize>) -> Self {
+        RandomizedOptions {
+            target_ranks,
+            oversampling: 8,
+            seed: 0x5eed,
+            variant: RandomizedVariant::RandThenOrth,
+            epsilon: None,
+        }
+    }
+
+    /// Uniform target rank at every bond.
+    pub fn uniform(rank: usize, n_modes: usize) -> Self {
+        Self::with_ranks(vec![rank; n_modes.saturating_sub(1)])
+    }
+
+    /// Adaptive (ε-certified) rounding: no target ranks needed.
+    pub fn adaptive(epsilon: f64) -> Self {
+        Self::with_ranks(Vec::new()).epsilon(epsilon)
+    }
+
+    /// Sets the oversampling parameter.
+    pub fn oversample(mut self, p: usize) -> Self {
+        self.oversampling = p;
+        self
+    }
+
+    /// Sets the sketch seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Selects a family member explicitly.
+    pub fn variant(mut self, v: RandomizedVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets the relative accuracy target **and** selects the adaptive
+    /// Khatri–Rao variant (the only one that can honor it).
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = Some(eps);
+        self.variant = RandomizedVariant::AdaptiveKr;
+        self
+    }
+}
+
+/// Per-bond record of one randomized truncation.
+#[derive(Debug, Clone)]
+pub struct BondSketch {
+    /// Bond index `b` (between cores `b-1` and `b`).
+    pub bond: usize,
+    /// Sketch columns spent at this bond (final count, after any adaptive
+    /// growth).
+    pub sketch_cols: usize,
+    /// Retained rank.
+    pub rank: usize,
+    /// Certified squared truncation error at this bond, measured in the
+    /// tensor metric — only for the variants that can compute it
+    /// (orthogonalize-then-randomize and adaptive).
+    pub error2: Option<f64>,
+}
+
+/// Diagnostics of one randomized rounding call.
+#[derive(Debug, Clone)]
+pub struct RandomizedReport {
+    /// Which variant produced the result.
+    pub variant: RandomizedVariant,
+    /// `‖X‖` where the algorithm computes it as a by-product
+    /// (orthogonalize-then-randomize: from the right-orthogonalized first
+    /// core; adaptive: from the Gram sweep). `None` for the sketch-only
+    /// variants, which never see the norm.
+    pub norm: Option<f64>,
+    /// Rank chain before rounding.
+    pub ranks_before: Vec<usize>,
+    /// Rank chain after rounding.
+    pub ranks_after: Vec<usize>,
+    /// Per-bond sketch records, in processing order.
+    pub bonds: Vec<BondSketch>,
+    /// A-priori certified *relative* error bound `√(Σ_b err_b²)/‖X‖`
+    /// (valid because the certifying variants measure every bond error in
+    /// the exact tensor metric while the committed cores stay orthonormal).
+    pub certified_error: Option<f64>,
+    /// Exact posterior relative error `‖X − Y‖/‖X‖` evaluated through TT
+    /// inner products (adaptive variant only; costs one extra sweep).
+    pub posterior_error: Option<f64>,
+}
+
+impl RandomizedReport {
+    pub(crate) fn new(variant: RandomizedVariant, ranks_before: Vec<usize>) -> Self {
+        RandomizedReport {
+            variant,
+            norm: None,
+            ranks_before,
+            ranks_after: Vec::new(),
+            bonds: Vec::new(),
+            certified_error: None,
+            posterior_error: None,
+        }
+    }
+}
+
+/// Randomized TT-Rounding, distributed, with diagnostics.
+///
+/// `x` is this rank's local block. All sketches are replicated by seeding
+/// (see [`sketch`]), so the result is deterministic given `opts.seed` and
+/// every rank takes identical rank decisions.
+pub fn round_randomized_dist_report(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    global_dims: &[usize],
+    opts: &RandomizedOptions,
+) -> (TtTensor, RandomizedReport) {
+    let n = x.order();
+    assert_eq!(global_dims.len(), n, "global dimension arity mismatch");
+    if opts.variant != RandomizedVariant::AdaptiveKr {
+        assert_eq!(
+            opts.target_ranks.len(),
+            n - 1,
+            "need one target rank per bond"
+        );
+    }
+    if n == 1 {
+        let mut report = RandomizedReport::new(opts.variant, x.ranks());
+        report.ranks_after = x.ranks();
+        return (x.clone(), report);
+    }
+    match opts.variant {
+        RandomizedVariant::RandThenOrth => rand_then_orth::run(comm, x, global_dims, opts),
+        RandomizedVariant::OrthThenRand => orth_then_rand::run(comm, x, global_dims, opts),
+        RandomizedVariant::TwoSided => two_sided::run(comm, x, global_dims, opts),
+        RandomizedVariant::AdaptiveKr => adaptive::run(comm, x, global_dims, opts),
+    }
+}
+
+/// Randomized TT-Rounding, distributed. See
+/// [`round_randomized_dist_report`] for the report-returning form.
+pub fn round_randomized_dist(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    global_dims: &[usize],
+    opts: &RandomizedOptions,
+) -> TtTensor {
+    round_randomized_dist_report(comm, x, global_dims, opts).0
+}
+
+/// Sequential convenience wrapper with diagnostics.
+pub fn round_randomized_report(
+    x: &TtTensor,
+    opts: &RandomizedOptions,
+) -> (TtTensor, RandomizedReport) {
+    let dims = x.dims();
+    round_randomized_dist_report(&tt_comm::SelfComm::new(), x, &dims, opts)
+}
+
+/// Sequential convenience wrapper.
+pub fn round_randomized(x: &TtTensor, opts: &RandomizedOptions) -> TtTensor {
+    round_randomized_report(x, opts).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::SeedableRng::seed_from_u64(seed)
+    }
+
+    /// The fixed-rank variants, for matrix-style tests.
+    pub(super) const FIXED_RANK: [RandomizedVariant; 3] = [
+        RandomizedVariant::RandThenOrth,
+        RandomizedVariant::OrthThenRand,
+        RandomizedVariant::TwoSided,
+    ];
+
+    #[test]
+    fn recovers_redundant_ranks_exactly_all_variants() {
+        let mut r = rng(1);
+        let base = TtTensor::random(&[10, 8, 9, 7], &[3, 4, 3], &mut r);
+        let doubled = base.add(&base);
+        let mut expect = base.clone();
+        expect.scale(2.0);
+        for variant in FIXED_RANK {
+            let opts = RandomizedOptions::with_ranks(vec![3, 4, 3])
+                .oversample(4)
+                .seed(99)
+                .variant(variant);
+            let y = round_randomized(&doubled, &opts);
+            assert_eq!(y.ranks(), vec![1, 3, 4, 3, 1], "{variant:?}");
+            let err = y.to_dense().fro_dist(&expect.to_dense());
+            assert!(err < 1e-8 * (1.0 + expect.norm()), "{variant:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn uniform_target_rank_caps() {
+        let mut r = rng(2);
+        let x = TtTensor::random(&[8, 8, 8], &[6, 6], &mut r);
+        for variant in FIXED_RANK {
+            let y = round_randomized(&x, &RandomizedOptions::uniform(3, 3).variant(variant));
+            assert_eq!(y.ranks(), vec![1, 3, 3, 1], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn near_low_rank_tensor_approximated_well() {
+        // base (rank 3) + tiny noise (rank 2): rounding to rank 3 captures
+        // the dominant part, for every fixed-rank variant.
+        let mut r = rng(3);
+        let base = TtTensor::random(&[12, 10, 11], &[3, 3], &mut r);
+        let mut noise = TtTensor::random(&[12, 10, 11], &[2, 2], &mut r);
+        let scale = 1e-6 * base.norm() / noise.norm();
+        noise.scale(scale);
+        let x = base.add(&noise);
+        for variant in FIXED_RANK {
+            let opts = RandomizedOptions::uniform(3, 3)
+                .oversample(5)
+                .variant(variant);
+            let y = round_randomized(&x, &opts);
+            let err = y.to_dense().fro_dist(&x.to_dense()) / x.norm();
+            // Two-sided pays an extra pseudo-inverse conditioning factor on
+            // top of the sketch constant; the one-sided variants don't.
+            let bound = match variant {
+                RandomizedVariant::TwoSided => 1e-3,
+                _ => 1e-4,
+            };
+            assert!(err < bound, "{variant:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r = rng(4);
+        let x = TtTensor::random(&[7, 6, 8], &[5, 4], &mut r);
+        for variant in FIXED_RANK {
+            let opts = RandomizedOptions::uniform(3, 3).seed(1234).variant(variant);
+            let a = round_randomized(&x, &opts);
+            let b = round_randomized(&x, &opts);
+            assert_eq!(a, b, "{variant:?}");
+        }
+        let opts = RandomizedOptions::adaptive(1e-6).seed(1234);
+        let a = round_randomized(&x, &opts);
+        let b = round_randomized(&x, &opts);
+        assert_eq!(a, b, "adaptive");
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let mut r = rng(5);
+        let base = TtTensor::random(&[9, 8, 10], &[3, 2], &mut r);
+        let x = base.add(&base);
+        let dims = x.dims();
+        let mut all: Vec<RandomizedOptions> = FIXED_RANK
+            .iter()
+            .map(|&v| {
+                RandomizedOptions::with_ranks(vec![3, 2])
+                    .oversample(4)
+                    .seed(7)
+                    .variant(v)
+            })
+            .collect();
+        all.push(RandomizedOptions::adaptive(1e-7).seed(7));
+        for opts in all {
+            let seq = round_randomized(&x, &opts);
+            for p in [2usize, 3] {
+                let xs = x.clone();
+                let dims2 = dims.clone();
+                let opts2 = opts.clone();
+                let gathered = tt_comm::run_verified(p, |comm| {
+                    let local = crate::dist::scatter_tensor(&xs, &comm);
+                    let y = round_randomized_dist(&comm, &local, &dims2, &opts2);
+                    crate::dist::gather_tensor(&y, &dims2, &comm)
+                });
+                for g in &gathered {
+                    assert_eq!(g.ranks(), seq.ranks(), "{:?} p={p}", opts.variant);
+                    let gap = g.to_dense().fro_dist(&seq.to_dense());
+                    assert!(
+                        gap < 1e-8 * (1.0 + seq.norm()),
+                        "{:?} p={p}: {gap}",
+                        opts.variant
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_ranks_capped_by_bond() {
+        // target + oversampling larger than the formal rank: capped, and the
+        // value is preserved exactly (no actual truncation happens).
+        let mut r = rng(6);
+        let x = TtTensor::random(&[6, 6, 6], &[3, 3], &mut r);
+        for variant in FIXED_RANK {
+            let y = round_randomized(&x, &RandomizedOptions::uniform(10, 3).variant(variant));
+            assert!(y.max_rank() <= 3, "{variant:?}");
+            let err = y.to_dense().fro_dist(&x.to_dense());
+            assert!(err < 1e-8 * (1.0 + x.norm()), "{variant:?}: err {err}");
+        }
+    }
+
+    #[test]
+    fn orth_then_rand_certificate_dominates_true_error() {
+        let mut r = rng(7);
+        let base = TtTensor::random(&[9, 7, 8, 6], &[3, 3, 2], &mut r);
+        let mut noise = TtTensor::random(&[9, 7, 8, 6], &[2, 2, 2], &mut r);
+        noise.scale(1e-3 * base.norm() / noise.norm());
+        let x = base.add(&noise);
+        let opts = RandomizedOptions::uniform(3, 4)
+            .oversample(6)
+            .variant(RandomizedVariant::OrthThenRand);
+        let (y, report) = round_randomized_report(&x, &opts);
+        let norm = report.norm.expect("orth-then-rand computes the norm");
+        assert!((norm - x.norm()).abs() < 1e-9 * (1.0 + x.norm()));
+        let certified = report.certified_error.expect("certificate expected");
+        let true_err = y.to_dense().fro_dist(&x.to_dense()) / x.norm();
+        // The certificate is an upper bound on the true error (up to the
+        // sqrt(eps)-scale floor of finite-precision Gram arithmetic).
+        assert!(
+            true_err <= certified + 1e-8,
+            "true {true_err} vs certified {certified}"
+        );
+    }
+
+    #[test]
+    fn adaptive_certifies_and_meets_epsilon() {
+        let mut r = rng(8);
+        let base = TtTensor::random(&[8, 9, 7, 8], &[3, 4, 3], &mut r);
+        let x = base.add(&base);
+        for eps in [1e-2, 1e-4, 1e-6] {
+            let (y, report) = round_randomized_report(&x, &RandomizedOptions::adaptive(eps));
+            let true_err = y.to_dense().fro_dist(&x.to_dense()) / x.norm();
+            assert!(true_err <= eps, "eps={eps}: true error {true_err}");
+            let posterior = report.posterior_error.expect("adaptive posterior");
+            assert!(posterior <= eps, "eps={eps}: posterior {posterior}");
+            // Redundant ranks must be detected: no bond can exceed the base.
+            for (ra, rb) in y.ranks().iter().zip(base.ranks().iter()) {
+                assert!(ra <= rb, "eps={eps}: ranks {:?}", y.ranks());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_loose_epsilon_truncates_harder_than_tight() {
+        let mut r = rng(9);
+        let x = TtTensor::random(&[8, 8, 8, 8], &[6, 6, 6], &mut r);
+        let loose = round_randomized(&x, &RandomizedOptions::adaptive(0.5));
+        let tight = round_randomized(&x, &RandomizedOptions::adaptive(1e-9));
+        assert!(
+            loose.max_rank() <= tight.max_rank(),
+            "loose {:?} vs tight {:?}",
+            loose.ranks(),
+            tight.ranks()
+        );
+    }
+
+    #[test]
+    fn report_records_bonds_and_ranks() {
+        let mut r = rng(10);
+        let x = TtTensor::random(&[7, 6, 5], &[4, 4], &mut r);
+        for variant in FIXED_RANK {
+            let opts = RandomizedOptions::uniform(2, 3).variant(variant);
+            let (y, report) = round_randomized_report(&x, &opts);
+            assert_eq!(report.variant, variant);
+            assert_eq!(report.ranks_before, vec![1, 4, 4, 1]);
+            assert_eq!(report.ranks_after, y.ranks());
+            assert_eq!(report.bonds.len(), 2);
+            for (b, rec) in report.bonds.iter().enumerate() {
+                assert_eq!(rec.bond, b + 1);
+                assert_eq!(rec.rank, y.ranks()[b + 1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Randomize-then-orthogonalize (SISC 2023 / arXiv 2110.04393 Alg. 3.3).
+//!
+//! Sketch the unfolding at every bond with a random TT tensor of the target
+//! ranks, then make one left-to-right pass that orthogonalizes the *small*
+//! sketched matrices only. Compared to Alg. 2 it performs no large QRs;
+//! compared to Algs. 5/6 it needs only one structured-contraction sweep. The
+//! price is a fixed *a-priori* target rank (plus oversampling) instead of an
+//! ε guarantee.
+//!
+//! Communication structure matches the Gram variants: one allreduce per mode
+//! in the sketch sweep and one per mode in the truncation sweep, small QRs
+//! done redundantly — so it parallelizes exactly like Alg. 6.
+
+use super::sketch::{gaussian_tt_sketch, TAG_TT_SKETCH};
+use super::{BondSketch, RandomizedOptions, RandomizedReport, RandomizedVariant};
+use crate::core::TtCore;
+use crate::round::gram::{postmult_v, premult_h};
+use crate::tensor::TtTensor;
+use tt_comm::Communicator;
+use tt_linalg::{gemm_alloc, gemm_v, Matrix, Trans};
+
+pub(super) fn run(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    global_dims: &[usize],
+    opts: &RandomizedOptions,
+) -> (TtTensor, RandomizedReport) {
+    let n = x.order();
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut report = RandomizedReport::new(RandomizedVariant::RandThenOrth, x.ranks());
+
+    // Sketch ranks: target + oversampling, capped by the bond dimensions of
+    // x (sketching wider than the bond is wasted work).
+    let ranks_x = x.ranks();
+    let sketch_ranks: Vec<usize> = (0..n - 1)
+        .map(|b| (opts.target_ranks[b] + opts.oversampling).min(ranks_x[b + 1]))
+        .collect();
+
+    // Build this rank's local block of the (conceptually global) random
+    // sketch tensor: slice i of sketch core k is seeded by (seed, k, i_glob),
+    // so every rank generates identical slices for the indices it owns.
+    let sketch = gaussian_tt_sketch(
+        global_dims,
+        &sketch_ranks,
+        p,
+        rank,
+        opts.seed,
+        comm.is_model(),
+        TAG_TT_SKETCH,
+    );
+
+    // ---- Right-to-left sketch sweep: W_b = (cores b.. of X) ⋅ (cores b..
+    // of R), contracting all physical modes; W_b ∈ R^{R_b × ℓ_b}. ----
+    // Same structure as the inner-product sweep, one allreduce per mode.
+    let mut w: Vec<Matrix> = vec![Matrix::identity(1); n];
+    // w[n-1] corresponds to the contraction of the last cores.
+    {
+        let (cx, cr) = (x.core(n - 1), sketch.core(n - 1));
+        let mut m = gemm_alloc(Trans::No, cx.h(), Trans::Yes, cr.h(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        w[n - 1] = m;
+    }
+    for k in (1..n - 1).rev() {
+        // E = X_k ×₃ w[k+1]ᵀ : post-multiply V(X_k) by w (R_{k+1} × ℓ_{k+1}).
+        let (cx, cr) = (x.core(k), sketch.core(k));
+        let e = postmult_v(cx, &w[k + 1]);
+        // Contract E with R_k over (mode, right-rank): H(E)·H(R_k)ᵀ.
+        let mut m = gemm_alloc(Trans::No, e.h(), Trans::Yes, cr.h(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        w[k] = m;
+    }
+
+    // ---- Left-to-right orthogonalization pass on sketched cores. ----
+    let mut cores_out: Vec<TtCore> = Vec::with_capacity(n);
+    let mut cur = x.core(0).clone();
+    for k in 0..n - 1 {
+        // Z = V(cur)·W_{k+1}: (r0·I_k) × ℓ — the sketched unfolding.
+        let z = gemm_alloc(Trans::No, cur.v(), Trans::No, w[k + 1].view(), 1.0);
+        // Thin Q via TSQR (small: ℓ columns), then cut the oversampled
+        // sketch down to the target rank through the ℓ×ℓ R factor's SVD
+        // (plain column truncation of Q would pick an arbitrary subspace —
+        // Q's columns are not importance-ordered).
+        let (q, r) = crate::round::tsqr::tsqr(comm, &z);
+        let l_rank = q.cols().min(opts.target_ranks[k].min(z.cols()));
+        let q = if l_rank < q.cols() {
+            let svd = tt_linalg::jacobi_svd(&r);
+            let u_lead = svd.u.truncate_cols(l_rank);
+            gemm_alloc(Trans::No, q.view(), Trans::No, u_lead.view(), 1.0)
+        } else {
+            q
+        };
+        let y_core = TtCore::from_v(q, cur.r0(), cur.mode_dim(), l_rank);
+        // M = Y_kᵀ ⋅ cur (contract left rank + mode): ℓ × R_{k+1};
+        // local gemm + allreduce.
+        let mut m = Matrix::zeros(l_rank, cur.r1());
+        gemm_v(
+            Trans::Yes,
+            y_core.v(),
+            Trans::No,
+            cur.v(),
+            1.0,
+            0.0,
+            m.view_mut(),
+        );
+        comm.allreduce_sum(m.as_mut_slice());
+        report.bonds.push(BondSketch {
+            bond: k + 1,
+            sketch_cols: sketch_ranks[k],
+            rank: l_rank,
+            error2: None,
+        });
+        // Push the remainder into the next core.
+        cur = premult_h(x.core(k + 1), &m);
+        cores_out.push(y_core);
+    }
+    cores_out.push(cur);
+    let y = TtTensor::new(cores_out);
+    report.ranks_after = y.ranks();
+    (y, report)
+}

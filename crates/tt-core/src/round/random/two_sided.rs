@@ -1,0 +1,158 @@
+//! Two-sided sketching (generalized Nyström / streaming TT approximation,
+//! arXiv 2110.04393 §3.4).
+//!
+//! Draws *two* independent random TT sketch tensors — a right sketch of
+//! ranks `ℓ_b = min(target_b, R_b)` and a wider left sketch of ranks
+//! `m_b = min(ℓ_b + oversampling, R_b)` — and contracts each against `X`
+//! once (a right-to-left and a left-to-right structured sweep, one allreduce
+//! per mode each). No orthogonalization pass touches `X` at all; the rounded
+//! cores come out of the small replicated cross matrices:
+//!
+//! ```text
+//!   Y_0     = X_0 · W_1
+//!   Y_k     = Ψ_k⁺ · U_k · X_k · W_{k+1}      (0 < k < N-1)
+//!   Y_{N-1} = Ψ_{N-1}⁺ · U_{N-1} · X_{N-1}
+//! ```
+//!
+//! with `W_b` the right-sketch contraction (`R_b × ℓ_b`), `U_b` the
+//! left-sketch contraction (`m_b × R_b`), and `Ψ_b = U_b W_b` (`m_b × ℓ_b`)
+//! pseudo-inverted redundantly on every rank. This is the streaming-friendly
+//! member of the family: both sweeps read `X` exactly once and are
+//! independent, at the price of a pseudo-inverse conditioning factor in the
+//! error (no orthonormal cores, no error estimate).
+
+use super::sketch::{gaussian_tt_sketch, TAG_TWO_SIDED_LEFT, TAG_TWO_SIDED_RIGHT};
+use super::{BondSketch, RandomizedOptions, RandomizedReport, RandomizedVariant};
+use crate::core::TtCore;
+use crate::round::gram::{postmult_v_s, premult_h_s, SweepScratch};
+use crate::tensor::TtTensor;
+use tt_comm::Communicator;
+use tt_linalg::{gemm_alloc, Matrix, Trans};
+
+/// Relative singular-value cutoff for the `Ψ⁺` pseudo-inverses. Gaussian
+/// cross matrices are well conditioned when the sketch captures the true
+/// rank; directions below the cutoff are pure sketch noise on rank-deficient
+/// inputs (σ ≈ ε·σ_max) and inverting them would amplify rounding error
+/// catastrophically.
+const PINV_RCUT: f64 = 1e-9;
+
+/// Moore–Penrose pseudo-inverse of a small replicated matrix, with singular
+/// values below `PINV_RCUT · σ_max` treated as zero.
+fn pinv(a: &Matrix) -> Matrix {
+    let svd = tt_linalg::jacobi_svd(a);
+    let smax = svd.singular_values.first().copied().unwrap_or(0.0);
+    let cut = smax * PINV_RCUT;
+    // pinv = V Σ⁺ Uᵀ, built as (U Σ⁺ᵀ)(Vᵀ)ᵀ → gemm(V·scaled-Uᵀ).
+    let mut u_scaled = svd.u;
+    for (j, &s) in svd.singular_values.iter().enumerate() {
+        let inv = if s > cut { 1.0 / s } else { 0.0 };
+        u_scaled.scale_col(j, inv);
+    }
+    gemm_alloc(Trans::No, svd.v.view(), Trans::Yes, u_scaled.view(), 1.0)
+}
+
+pub(super) fn run(
+    comm: &impl Communicator,
+    x: &TtTensor,
+    global_dims: &[usize],
+    opts: &RandomizedOptions,
+) -> (TtTensor, RandomizedReport) {
+    let n = x.order();
+    let p = comm.size();
+    let rank = comm.rank();
+    let mut report = RandomizedReport::new(RandomizedVariant::TwoSided, x.ranks());
+    let mut scratch = SweepScratch::new();
+
+    let ranks_x = x.ranks();
+    let right_ranks: Vec<usize> = (0..n - 1)
+        .map(|b| opts.target_ranks[b].min(ranks_x[b + 1]))
+        .collect();
+    let left_ranks: Vec<usize> = (0..n - 1)
+        .map(|b| (right_ranks[b] + opts.oversampling).min(ranks_x[b + 1]))
+        .collect();
+
+    let right = gaussian_tt_sketch(
+        global_dims,
+        &right_ranks,
+        p,
+        rank,
+        opts.seed,
+        comm.is_model(),
+        TAG_TWO_SIDED_RIGHT,
+    );
+    let left = gaussian_tt_sketch(
+        global_dims,
+        &left_ranks,
+        p,
+        rank,
+        opts.seed,
+        comm.is_model(),
+        TAG_TWO_SIDED_LEFT,
+    );
+
+    // ---- Right-to-left sweep: W_b = (cores b.. of X)·(cores b.. of right),
+    // W_b ∈ R^{R_b × ℓ_b}; one allreduce per mode. ----
+    let mut w: Vec<Matrix> = vec![Matrix::identity(1); n];
+    {
+        let (cx, cr) = (x.core(n - 1), right.core(n - 1));
+        let mut m = gemm_alloc(Trans::No, cx.h(), Trans::Yes, cr.h(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        w[n - 1] = m;
+    }
+    for k in (1..n - 1).rev() {
+        let (cx, cr) = (x.core(k), right.core(k));
+        let e = postmult_v_s(cx, &w[k + 1], &mut scratch);
+        let mut m = gemm_alloc(Trans::No, e.h(), Trans::Yes, cr.h(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        scratch.recycle_core(e);
+        w[k] = m;
+    }
+
+    // ---- Left-to-right sweep: U_b = (cores ..b of left)ᵀ·(cores ..b of X),
+    // U_b ∈ R^{m_b × R_b}; one allreduce per mode. ----
+    let mut u: Vec<Matrix> = vec![Matrix::identity(1); n];
+    {
+        let (cl, cx) = (left.core(0), x.core(0));
+        let mut m = gemm_alloc(Trans::Yes, cl.v(), Trans::No, cx.v(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        u[1] = m;
+    }
+    for k in 1..n - 1 {
+        // E = U_k · H(X_k): a (m_k, I, R_{k+1}) core; then contract with the
+        // left-sketch core over (left-rank, mode).
+        let e = premult_h_s(x.core(k), &u[k], &mut scratch);
+        let mut m = gemm_alloc(Trans::Yes, left.core(k).v(), Trans::No, e.v(), 1.0);
+        comm.allreduce_sum(m.as_mut_slice());
+        scratch.recycle_core(e);
+        u[k + 1] = m;
+    }
+
+    // ---- Core recovery: everything below is replicated small algebra plus
+    // communication-free local core updates. ----
+    let mut cores_out: Vec<TtCore> = Vec::with_capacity(n);
+    cores_out.push(postmult_v_s(x.core(0), &w[1], &mut scratch));
+    for k in 1..n {
+        // pre_k = Ψ_k⁺ U_k : ℓ_k × R_k (replicated).
+        let psi = gemm_alloc(Trans::No, u[k].view(), Trans::No, w[k].view(), 1.0);
+        let pre = gemm_alloc(Trans::No, pinv(&psi).view(), Trans::No, u[k].view(), 1.0);
+        let core = if k < n - 1 {
+            let z = postmult_v_s(x.core(k), &w[k + 1], &mut scratch);
+            let out = premult_h_s(&z, &pre, &mut scratch);
+            scratch.recycle_core(z);
+            out
+        } else {
+            premult_h_s(x.core(k), &pre, &mut scratch)
+        };
+        report.bonds.push(BondSketch {
+            bond: k,
+            sketch_cols: left_ranks[k - 1],
+            rank: right_ranks[k - 1],
+            error2: None,
+        });
+        cores_out.push(core);
+        scratch.recycle(psi);
+    }
+    let y = TtTensor::new(cores_out);
+    report.ranks_after = y.ranks();
+    (y, report)
+}

@@ -58,6 +58,44 @@ fn all_rounding_variants_bitwise_identical_under_4_threads() {
 }
 
 #[test]
+fn randomized_family_bitwise_identical_across_thread_counts() {
+    // The randomized family routes through the same kernel layer (gemm,
+    // TSQR, Jacobi SVD, eigh) plus seeded sketch generation, which is
+    // thread-count-independent by construction. Sweep every variant over
+    // TT_NUM_THREADS ∈ {1, 2, 4}.
+    use tt_core::round::{round_randomized, RandomizedOptions, RandomizedVariant};
+    let x = redundant(&[8, 7, 6, 8, 5], 6, 4242);
+    let variants = [
+        RandomizedVariant::RandThenOrth,
+        RandomizedVariant::OrthThenRand,
+        RandomizedVariant::TwoSided,
+        RandomizedVariant::AdaptiveKr,
+    ];
+    for variant in variants {
+        let opts = match variant {
+            RandomizedVariant::AdaptiveKr => RandomizedOptions::adaptive(1e-8).seed(11),
+            v => RandomizedOptions::uniform(6, 5)
+                .oversample(4)
+                .seed(11)
+                .variant(v),
+        };
+        let serial = with_threads(1, || round_randomized(&x, &opts));
+        for threads in [2usize, 4] {
+            let parallel = with_threads(threads, || round_randomized(&x, &opts));
+            assert_tensors_bitwise_eq(
+                &serial,
+                &parallel,
+                &format!("{variant:?} threads={threads}"),
+            );
+        }
+        // Reproducibility within one thread count, too (no hidden
+        // scheduling dependence in the adaptive grow/commit loop).
+        let again = with_threads(4, || round_randomized(&x, &opts));
+        assert_tensors_bitwise_eq(&serial, &again, &format!("{variant:?} repeat"));
+    }
+}
+
+#[test]
 fn thread_count_does_not_change_truncated_ranks() {
     // Rank decisions come from singular-value thresholds — the most
     // sensitive consumer of kernel bit-patterns. Sweep several tolerances.

@@ -1,12 +1,13 @@
 //! The paper's future-work direction (§VI), realized: randomized
-//! TT-Rounding. Compares accuracy and speed of all five rounding methods on
-//! a tensor with redundant ranks.
+//! TT-Rounding. Compares accuracy and speed of all rounding methods —
+//! deterministic and the four randomized variants — on a tensor with
+//! redundant ranks.
 //!
 //! Run with: `cargo run --release --example randomized_rounding`
 
 #![allow(clippy::print_stdout)] // user-facing output is this target's job
 use rand::SeedableRng;
-use tt_gram_round::tt::round::{round_randomized, RandomizedOptions};
+use tt_gram_round::tt::round::{round_randomized, RandomizedOptions, RandomizedVariant};
 use tt_gram_round::tt::synthetic::generate_redundant;
 use tt_gram_round::tt::{round_gram_lrl, round_gram_rlr, round_gram_simultaneous, round_qr};
 
@@ -48,12 +49,22 @@ fn main() {
     timed("Gram-Sim (Alg 5)", &|| round_gram_simultaneous(&x, 1e-8));
     timed("Gram-RLR (Alg 6)", &|| round_gram_rlr(&x, 1e-8));
     timed("Gram-LRL (Alg 6)", &|| round_gram_lrl(&x, 1e-8));
-    let opts = RandomizedOptions::uniform(10, dims.len());
-    timed("Randomized (SVI)", &|| round_randomized(&x, &opts));
+    let fixed = |v: RandomizedVariant| RandomizedOptions::uniform(10, dims.len()).variant(v);
+    let rto = fixed(RandomizedVariant::RandThenOrth);
+    timed("Rand-then-orth", &|| round_randomized(&x, &rto));
+    let otr = fixed(RandomizedVariant::OrthThenRand);
+    timed("Orth-then-rand", &|| round_randomized(&x, &otr));
+    let two = fixed(RandomizedVariant::TwoSided);
+    timed("Two-sided (Nystrom)", &|| round_randomized(&x, &two));
+    let akr = RandomizedOptions::adaptive(1e-7);
+    timed("Adaptive KR (eps)", &|| round_randomized(&x, &akr));
 
     println!();
     println!("expected ordering (paper §IV-E + §VI): QR slowest; sequence Gram variants");
-    println!("beat the simultaneous one; randomized rounding cheapest of all, at the");
-    println!("price of a fixed target rank instead of an error guarantee.");
+    println!("beat the simultaneous one; rand-then-orth cheapest of all, at the price");
+    println!("of a fixed target rank. Orth-then-rand pays one extra sweep for a");
+    println!("computable error certificate; two-sided skips orthogonalization but its");
+    println!("pseudo-inverse costs accuracy; adaptive KR needs no target rank — it");
+    println!("grows the sketch until the eps-certificate holds.");
     println!("(rel errors sit at the sqrt(eps) TT-inner-product floor, ~1e-8)");
 }

@@ -204,7 +204,7 @@ pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
         }
     }
 
-    let failures = evaluate(
+    let mut failures = evaluate(
         &merged,
         baseline.as_deref(),
         baseline_par.as_deref(),
@@ -248,6 +248,13 @@ pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
             }
             eprintln!("bench-check: baseline written to {}", path.display());
         }
+    }
+
+    // 4. Rounding-ablation gate (scalar pass only: the accuracy and rank
+    //    gates are build-independent, and one timing baseline per machine is
+    //    enough — running it twice would only double CI time).
+    if !simd {
+        failures.extend(rounding_check(repo, record));
     }
 
     if failures.is_empty() {
@@ -511,6 +518,242 @@ fn extract_u128(line: &str, key: &str) -> Option<u128> {
         .take_while(|c| c.is_ascii_digit())
         .collect();
     digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Rounding-ablation gate: accuracy × rank × time across the rounding family.
+// ---------------------------------------------------------------------------
+
+/// One row of the `rounding_ablation` bench (`tt-bench/src/bin/`): timing
+/// plus the achieved relative error, the variant's accuracy bound, and the
+/// maximum output rank.
+#[derive(Debug, Clone)]
+struct RoundingEntry {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: u64,
+    rel_err: f64,
+    bound: f64,
+    max_rank: u64,
+}
+
+/// Runs the rounding-family ablation gate: every variant must achieve its
+/// accuracy bound (always — accuracy is machine-independent), and against
+/// the recorded baseline no variant's rank decision may drift and no mean
+/// time may regress more than [`REGRESSION_FACTOR`]. Timing misses retry
+/// like the kernel gates; accuracy and rank failures are deterministic
+/// (fixed seeds) and fail immediately.
+fn rounding_check(repo: &Path, record: bool) -> Vec<String> {
+    let json_path = repo.join("target/bench-rounding.jsonl");
+    let baseline_path = repo.join("results/BENCH_rounding_ablation.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|text| parse_rounding_entries(&text));
+    if baseline.is_none() && !record {
+        eprintln!(
+            "bench-check: no rounding baseline at {}; recording one from this run",
+            baseline_path.display()
+        );
+    }
+
+    let mut merged: Vec<RoundingEntry> = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        eprintln!("bench-check: rounding ablation attempt {attempt}/{MAX_ATTEMPTS}...");
+        let run = match run_rounding_bench(repo, &json_path) {
+            Ok(run) => run,
+            Err(msg) => return vec![format!("rounding ablation: {msg}")],
+        };
+        merge_rounding_best(&mut merged, run);
+        let failures = evaluate_rounding(&merged, baseline.as_deref(), record, false);
+        if failures.is_empty() || !rounding_retryable(&failures) {
+            break;
+        }
+        if attempt < MAX_ATTEMPTS {
+            eprintln!(
+                "bench-check: rounding timing gate missed on attempt {attempt}; retrying to discount scheduler noise"
+            );
+        }
+    }
+
+    let failures = evaluate_rounding(&merged, baseline.as_deref(), record, true);
+    if failures.is_empty() && (record || baseline.is_none()) {
+        if let Err(e) = write_rounding_baseline(&baseline_path, &merged) {
+            return vec![format!("could not write rounding baseline: {e}")];
+        }
+        eprintln!(
+            "bench-check: rounding baseline written to {}",
+            baseline_path.display()
+        );
+    }
+    failures
+}
+
+/// Runs the ablation binary once and parses its JSONL output.
+fn run_rounding_bench(repo: &Path, json_path: &Path) -> Result<Vec<RoundingEntry>, String> {
+    let _ = std::fs::remove_file(json_path);
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "tt-bench",
+            "--bin",
+            "rounding_ablation",
+            "--",
+            "--json",
+        ])
+        .arg(json_path)
+        .current_dir(repo)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => return Err(format!("rounding_ablation exited with {s}")),
+        Err(e) => return Err(format!("rounding_ablation could not run: {e}")),
+    }
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|e| format!("no results at {}: {e}", json_path.display()))?;
+    let run = parse_rounding_entries(&text);
+    if run.is_empty() {
+        return Err("ablation run produced zero rounding_* results".to_string());
+    }
+    Ok(run)
+}
+
+/// Folds a fresh ablation run into the merged view: best times across
+/// attempts; the deterministic fields (error, bound, rank) are identical in
+/// every run, so the first sighting stands.
+fn merge_rounding_best(merged: &mut Vec<RoundingEntry>, run: Vec<RoundingEntry>) {
+    for e in run {
+        if let Some(prev) = merged.iter_mut().find(|p| p.id == e.id) {
+            prev.min_ns = prev.min_ns.min(e.min_ns);
+            prev.mean_ns = prev.mean_ns.min(e.mean_ns);
+            prev.samples += e.samples;
+        } else {
+            merged.push(e);
+        }
+    }
+}
+
+/// Only timing regressions are worth a re-measure; accuracy-bound and
+/// rank-drift failures come from seeded, deterministic runs.
+fn rounding_retryable(failures: &[String]) -> bool {
+    failures.iter().all(|f| f.contains("regressed"))
+}
+
+/// Applies the three rounding gates, returning the failure list.
+fn evaluate_rounding(
+    current: &[RoundingEntry],
+    baseline: Option<&[RoundingEntry]>,
+    record: bool,
+    verbose: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cur in current {
+        // Accuracy gate: unconditional. `!(a <= b)` also catches NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the gate
+        if !(cur.rel_err <= cur.bound) {
+            failures.push(format!(
+                "{}: rel error {:.3e} exceeds its accuracy bound {:.3e}",
+                cur.id, cur.rel_err, cur.bound
+            ));
+        }
+        if verbose {
+            eprintln!(
+                "bench-check: {:<26} rel_err {:>9.2e} (bound {:>8.1e})  max rank {:>3}  mean {:>12} ns",
+                cur.id, cur.rel_err, cur.bound, cur.max_rank, cur.mean_ns
+            );
+        }
+        if record {
+            continue;
+        }
+        let Some(prev) = baseline.and_then(|base| base.iter().find(|e| e.id == cur.id)) else {
+            if verbose {
+                eprintln!(
+                    "bench-check: {} has no rounding baseline entry (new variant)",
+                    cur.id
+                );
+            }
+            continue;
+        };
+        // Rank gate: the truncation decision is seeded and deterministic;
+        // any drift means the algorithm changed behavior, not the machine.
+        if cur.max_rank != prev.max_rank {
+            failures.push(format!(
+                "{}: rank decision changed: max rank {} vs baseline {}",
+                cur.id, cur.max_rank, prev.max_rank
+            ));
+        }
+        let limit = prev.mean_ns as f64 * REGRESSION_FACTOR;
+        if cur.mean_ns as f64 > limit {
+            failures.push(format!(
+                "{}: mean {} ns regressed >{:.0}% over baseline {} ns",
+                cur.id,
+                cur.mean_ns,
+                (REGRESSION_FACTOR - 1.0) * 100.0,
+                prev.mean_ns
+            ));
+        }
+    }
+    failures
+}
+
+/// Parses rounding-ablation JSONL (and the baseline file, same shape).
+fn parse_rounding_entries(text: &str) -> Vec<RoundingEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = extract_str(line, "id") else {
+            continue;
+        };
+        let (Some(mean_ns), Some(min_ns), Some(rel_err), Some(bound)) = (
+            extract_u128(line, "mean_ns"),
+            extract_u128(line, "min_ns"),
+            extract_f64(line, "rel_err"),
+            extract_f64(line, "bound"),
+        ) else {
+            continue;
+        };
+        out.push(RoundingEntry {
+            id,
+            mean_ns,
+            min_ns,
+            samples: extract_u128(line, "samples").unwrap_or(0) as u64,
+            rel_err,
+            bound,
+            max_rank: extract_u128(line, "max_rank").unwrap_or(0) as u64,
+        });
+    }
+    out
+}
+
+/// Extracts a `"key":number` float field (scientific notation included)
+/// from a single JSON line.
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let token: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    token.parse().ok()
+}
+
+/// Writes the rounding baseline in the same one-entry-per-line array shape
+/// as the kernel baselines.
+fn write_rounding_baseline(path: &Path, entries: &[RoundingEntry]) -> Result<(), std::io::Error> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut text = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        text.push_str(&format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{},\"rel_err\":{:e},\"bound\":{:e},\"max_rank\":{}}}{comma}\n",
+            e.id, e.mean_ns, e.min_ns, e.samples, e.rel_err, e.bound, e.max_rank
+        ));
+    }
+    text.push_str("]\n");
+    std::fs::write(path, text)
 }
 
 /// Writes the baseline as a JSON array with one entry object per line, so
@@ -849,6 +1092,127 @@ mod tests {
         assert!(failures[0].contains("threads made it slower"));
         // Hardware-gated like the GEMM floor.
         assert!(evaluate(&current, None, None, true, false, false, None, false).is_empty());
+    }
+
+    fn rounding_entry(
+        id: &str,
+        mean_ns: u128,
+        rel_err: f64,
+        bound: f64,
+        max_rank: u64,
+    ) -> RoundingEntry {
+        RoundingEntry {
+            id: id.to_string(),
+            mean_ns,
+            min_ns: mean_ns,
+            samples: 12,
+            rel_err,
+            bound,
+            max_rank,
+        }
+    }
+
+    #[test]
+    fn extract_f64_handles_scientific_notation() {
+        let line = "{\"id\":\"rounding_qr\",\"mean_ns\":100,\"min_ns\":90,\"samples\":5,\"rel_err\":9.97e-7,\"bound\":1.5e-4,\"max_rank\":12}";
+        assert_eq!(extract_f64(line, "rel_err"), Some(9.97e-7));
+        assert_eq!(extract_f64(line, "bound"), Some(1.5e-4));
+        assert_eq!(extract_f64(line, "missing"), None);
+        let entries = parse_rounding_entries(line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].max_rank, 12);
+        assert_eq!(entries[0].rel_err, 9.97e-7);
+    }
+
+    #[test]
+    fn rounding_accuracy_gate_is_unconditional() {
+        // Bound violated: fails even when recording, and even with no
+        // baseline — correctness never depends on the machine.
+        let bad = vec![rounding_entry("rounding_adaptive_kr", 100, 2e-4, 1e-4, 12)];
+        for record in [false, true] {
+            let failures = evaluate_rounding(&bad, None, record, false);
+            assert_eq!(failures.len(), 1, "record={record}");
+            assert!(failures[0].contains("exceeds its accuracy bound"));
+            assert!(!rounding_retryable(&failures));
+        }
+        // NaN errors must not sneak past the comparison.
+        let nan = vec![rounding_entry("rounding_qr", 100, f64::NAN, 1e-4, 12)];
+        assert_eq!(evaluate_rounding(&nan, None, true, false).len(), 1);
+    }
+
+    #[test]
+    fn rounding_rank_and_timing_gates_use_the_baseline() {
+        let base = vec![
+            rounding_entry("rounding_qr", 100, 1e-6, 1.5e-4, 12),
+            rounding_entry("rounding_two_sided", 100, 1e-4, 1e-2, 12),
+        ];
+        // Identical run: clean.
+        assert!(evaluate_rounding(&base, Some(&base), false, false).is_empty());
+        // A drifted rank decision fails (not retryable)...
+        let drift = vec![
+            rounding_entry("rounding_qr", 100, 1e-6, 1.5e-4, 13),
+            base[1].clone(),
+        ];
+        let failures = evaluate_rounding(&drift, Some(&base), false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("rank decision changed"));
+        assert!(!rounding_retryable(&failures));
+        // ...a slow mean regresses (retryable)...
+        let slow = vec![
+            rounding_entry("rounding_qr", 200, 1e-6, 1.5e-4, 12),
+            base[1].clone(),
+        ];
+        let failures = evaluate_rounding(&slow, Some(&base), false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"));
+        assert!(rounding_retryable(&failures));
+        // ...and recording skips both baseline gates.
+        assert!(evaluate_rounding(&slow, Some(&base), true, false).is_empty());
+        // An entry with no baseline row is a new variant, not a failure.
+        let extra = vec![
+            base[0].clone(),
+            rounding_entry("rounding_new", 50, 1e-9, 1e-4, 3),
+        ];
+        assert!(evaluate_rounding(&extra, Some(&base), false, false).is_empty());
+    }
+
+    #[test]
+    fn rounding_merge_keeps_best_times_and_deterministic_fields() {
+        let mut merged = vec![rounding_entry("rounding_qr", 120, 1e-6, 1.5e-4, 12)];
+        merge_rounding_best(
+            &mut merged,
+            vec![
+                rounding_entry("rounding_qr", 90, 1e-6, 1.5e-4, 12),
+                rounding_entry("rounding_gram_rlr", 70, 1e-6, 1.5e-4, 12),
+            ],
+        );
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].mean_ns, 90);
+        assert_eq!(merged[0].samples, 24);
+    }
+
+    #[test]
+    fn rounding_baseline_round_trips() {
+        let entries = vec![rounding_entry(
+            "rounding_adaptive_kr",
+            100,
+            1.5e-6,
+            1e-4,
+            12,
+        )];
+        let dir = std::env::temp_dir().join(format!("bench-check-r-{}", std::process::id()));
+        let path = dir.join("BENCH_rounding_ablation.json");
+        write_rounding_baseline(&path, &entries)
+            .map_err(|e| e.to_string())
+            .ok();
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        let _ = std::fs::remove_dir_all(&dir);
+        let back = parse_rounding_entries(&text);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, "rounding_adaptive_kr");
+        assert_eq!(back[0].rel_err, 1.5e-6);
+        assert_eq!(back[0].bound, 1e-4);
+        assert_eq!(back[0].max_rank, 12);
     }
 
     #[test]
