@@ -31,7 +31,15 @@
 //! Suppressions that match no diagnostic are themselves errors (on by
 //! default; nightly CI passes `--check-suppressions` explicitly, local
 //! triage can pass `--no-check-suppressions` while iterating), so stale
-//! annotations cannot accumulate.
+//! annotations cannot accumulate. `--fix-suppressions` prints a removal
+//! plan for the stale annotations; add `--apply` to edit them out of the
+//! source (whole line for standalone comments, the comment portion for
+//! trailing ones).
+//!
+//! `--changed-only[=REF]` scopes the run to files changed vs a git ref
+//! (default `HEAD`, tracked diff + untracked) for fast pre-commit checks;
+//! because the call graph then only sees part of the workspace, it turns
+//! unused-suppression checking off unless explicitly requested.
 //!
 //! Exit code is non-zero on any unsuppressed diagnostic, malformed
 //! suppression, or (when checking) unused suppression. `--format json`
@@ -67,6 +75,18 @@ pub struct Suppression {
     pub comment_line: usize,
 }
 
+/// One unused suppression, located precisely enough to auto-remove it
+/// (`--fix-suppressions`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedSite {
+    /// Repo-relative path of the file carrying the annotation.
+    pub file: String,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// Pass the annotation names.
+    pub pass: String,
+}
+
 /// Full result of one analysis run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -78,6 +98,8 @@ pub struct Report {
     pub errors: Vec<String>,
     /// Suppressions that silenced nothing, as `file:line: pass` strings.
     pub unused: Vec<String>,
+    /// The same unused suppressions, structured (drives `--fix-suppressions`).
+    pub unused_sites: Vec<UnusedSite>,
     /// Number of files analyzed.
     pub files: usize,
 }
@@ -133,6 +155,12 @@ pub struct AnalysisStats {
     pub ambiguous_calls: usize,
     /// Call sites with no workspace definition.
     pub external_calls: usize,
+    /// Public `_dist` entry points with bodies: each has an extracted
+    /// communication skeleton and is model-checked by `deadlock_check`.
+    pub dist_covered: usize,
+    /// Bodyless public `_dist` declarations (trait methods): named but not
+    /// checkable, reported so coverage gaps are visible rather than silent.
+    pub dist_uncovered: usize,
 }
 
 impl AnalysisStats {
@@ -144,9 +172,11 @@ impl AnalysisStats {
         } else {
             100.0 * self.cache_hits as f64 / total as f64
         };
+        let dist_total = self.dist_covered + self.dist_uncovered;
         format!(
             "{} files scanned (cache: {} hits / {} misses, {rate:.1}% hit rate), \
-             call graph: {} nodes / {} edges ({} resolved, {} ambiguous, {} external calls)",
+             call graph: {} nodes / {} edges ({} resolved, {} ambiguous, {} external calls), \
+             skeletons: {}/{dist_total} public _dist entry points covered ({} uncovered)",
             self.files,
             self.cache_hits,
             self.cache_misses,
@@ -155,6 +185,8 @@ impl AnalysisStats {
             self.resolved_calls,
             self.ambiguous_calls,
             self.external_calls,
+            self.dist_covered,
+            self.dist_uncovered,
         )
     }
 }
@@ -169,7 +201,11 @@ pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
     }
     let mut format = Format::Text;
     let mut check_suppressions = true;
+    let mut check_explicit = false;
     let mut show_stats = false;
+    let mut fix_suppressions = false;
+    let mut fix_apply = false;
+    let mut changed_only: Option<String> = None;
     let mut opts = AnalysisOptions {
         jobs: default_jobs(),
         cache_dir: Some(cache::default_cache_dir(repo)),
@@ -192,9 +228,26 @@ pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
             "--format=json" => format = Format::Json,
             "--format=sarif" => format = Format::Sarif,
             "--format=text" => format = Format::Text,
-            "--check-suppressions" => check_suppressions = true,
-            "--no-check-suppressions" => check_suppressions = false,
+            "--check-suppressions" => {
+                check_suppressions = true;
+                check_explicit = true;
+            }
+            "--no-check-suppressions" => {
+                check_suppressions = false;
+                check_explicit = true;
+            }
             "--stats" => show_stats = true,
+            "--fix-suppressions" => fix_suppressions = true,
+            "--apply" => fix_apply = true,
+            "--changed-only" => changed_only = Some("HEAD".to_string()),
+            flag if flag.starts_with("--changed-only=") => {
+                let gitref = &flag["--changed-only=".len()..];
+                if gitref.is_empty() {
+                    eprintln!("analyze: --changed-only= expects a git ref");
+                    return ExitCode::FAILURE;
+                }
+                changed_only = Some(gitref.to_string());
+            }
             "--no-cache" => opts.cache_dir = None,
             "--jobs" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => opts.jobs = n,
@@ -223,11 +276,23 @@ pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
                     "analyze: unknown flag `{other}`\n\
                      usage: cargo xtask analyze [--format text|json|sarif] \
                      [--no-check-suppressions] [--check-suppressions] [--stats] \
-                     [--jobs N] [--no-cache] [--list-passes]"
+                     [--jobs N] [--no-cache] [--changed-only[=REF]] \
+                     [--fix-suppressions [--apply]] [--list-passes]"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if fix_apply && !fix_suppressions {
+        eprintln!("analyze: --apply only makes sense with --fix-suppressions");
+        return ExitCode::FAILURE;
+    }
+    // A partial file set cannot judge suppressions of interprocedural
+    // findings (their evidence may live in out-of-scope files), so
+    // `--changed-only` defaults unused-suppression checking off unless the
+    // caller asked for it explicitly.
+    if changed_only.is_some() && !check_explicit {
+        check_suppressions = false;
     }
 
     let mut files = Vec::new();
@@ -238,9 +303,31 @@ pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
         }
     }
     files.sort();
+    if let Some(gitref) = &changed_only {
+        let changed = match changed_files(repo, gitref) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("analyze: --changed-only: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let before = files.len();
+        files.retain(|f| {
+            let rel = f
+                .strip_prefix(repo)
+                .unwrap_or(f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            changed.contains(&rel)
+        });
+        eprintln!(
+            "analyze: --changed-only {gitref}: {} of {before} files in scope",
+            files.len()
+        );
+    }
 
     let started = std::time::Instant::now();
-    let (report, stats) = match analyze_files_with(repo, &files, &opts) {
+    let (mut report, stats) = match analyze_files_with(repo, &files, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analyze: {e}");
@@ -248,6 +335,29 @@ pub fn analyze(repo: &Path, args: &[String]) -> ExitCode {
         }
     };
     let elapsed_ms = started.elapsed().as_millis();
+
+    if fix_suppressions {
+        match apply_suppression_fixes(repo, &report.unused_sites, fix_apply) {
+            Ok(fixed) => {
+                if fix_apply {
+                    // The annotations are gone from disk, so the gate judges
+                    // the post-fix tree: drop the fixed entries.
+                    report.unused.retain(|u| {
+                        !fixed
+                            .iter()
+                            .any(|s| u.starts_with(&format!("{}:{}:", s.file, s.comment_line)))
+                    });
+                    report
+                        .unused_sites
+                        .retain(|s| !fixed.iter().any(|f| f == s));
+                }
+            }
+            Err(e) => {
+                eprintln!("analyze: --fix-suppressions: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     match format {
         Format::Json => {
@@ -342,6 +452,17 @@ pub fn analyze_files_with(
     stats.resolved_calls = graph.resolved_calls;
     stats.ambiguous_calls = graph.ambiguous_calls;
     stats.external_calls = graph.external_calls;
+    // Skeleton coverage: every public `_dist` fn with a body has an
+    // extracted skeleton and is model-checked by `deadlock_check`; bodyless
+    // trait declarations are counted as uncovered so the CI assertion on
+    // the stats line cannot silently lose entry points.
+    for ni in 0..graph.nodes.len() {
+        let fs = graph.summary(ni);
+        if fs.is_pub && crate::skeleton::is_dist_entry(&fs.name) {
+            stats.dist_covered += 1;
+        }
+    }
+    stats.dist_uncovered = graph.files.iter().map(|f| f.dist_decls.len()).sum();
 
     let cx = GraphContext {
         graph: &graph,
@@ -398,6 +519,11 @@ pub fn analyze_files_with(
                     "{rel}:{}: analyze::allow({})",
                     s.comment_line, s.pass
                 ));
+                report.unused_sites.push(UnusedSite {
+                    file: rel.to_string(),
+                    comment_line: s.comment_line,
+                    pass: s.pass,
+                });
             }
         }
     }
@@ -408,6 +534,113 @@ pub fn analyze_files_with(
 /// two-stage pipeline and must stay cache- and thread-independent).
 pub fn analyze_files(repo: &Path, files: &[PathBuf]) -> Result<Report, std::io::Error> {
     analyze_files_with(repo, files, &AnalysisOptions::serial_uncached()).map(|(r, _)| r)
+}
+
+/// Repo-relative paths changed vs `gitref` (tracked diff + untracked files),
+/// for `--changed-only`. Shells out to git; any failure is an error rather
+/// than a silent full run, so a bad ref cannot masquerade as a clean gate.
+fn changed_files(
+    repo: &Path,
+    gitref: &str,
+) -> Result<std::collections::BTreeSet<String>, std::io::Error> {
+    let mut out = std::collections::BTreeSet::new();
+    for argset in [
+        &["diff", "--name-only", gitref, "--"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let run = std::process::Command::new("git")
+            .arg("-C")
+            .arg(repo)
+            .args(argset)
+            .output()?;
+        if !run.status.success() {
+            return Err(std::io::Error::other(format!(
+                "git {} failed: {}",
+                argset.join(" "),
+                String::from_utf8_lossy(&run.stderr).trim()
+            )));
+        }
+        for line in String::from_utf8_lossy(&run.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Removes unused `// analyze::allow(...)` annotations from their files —
+/// the whole line when the comment stands alone, just the trailing-comment
+/// portion when code precedes it. Dry-run (`apply == false`) only prints
+/// what would change. Returns the sites actually (or would-be) removed;
+/// sites whose line no longer carries the marker (e.g. a block comment or a
+/// stale report) are skipped with a note rather than guessed at.
+pub fn apply_suppression_fixes(
+    repo: &Path,
+    sites: &[UnusedSite],
+    apply: bool,
+) -> Result<Vec<UnusedSite>, std::io::Error> {
+    let mut by_file: BTreeMap<&str, Vec<&UnusedSite>> = BTreeMap::new();
+    for s in sites {
+        by_file.entry(s.file.as_str()).or_default().push(s);
+    }
+    let mut fixed = Vec::new();
+    for (rel, file_sites) in by_file {
+        let path = repo.join(rel);
+        let src = std::fs::read_to_string(&path)?;
+        let had_final_newline = src.ends_with('\n');
+        let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+        // Edit bottom-up so earlier removals don't shift later line numbers.
+        let mut ordered: Vec<&UnusedSite> = file_sites;
+        ordered.sort_by_key(|s| std::cmp::Reverse(s.comment_line));
+        let mut touched = false;
+        for s in ordered {
+            let Some(line) = lines.get(s.comment_line - 1) else {
+                eprintln!(
+                    "analyze: fix-suppressions: {rel}:{}: line out of range, skipped",
+                    s.comment_line
+                );
+                continue;
+            };
+            let Some(at) = line.find("// analyze::allow(") else {
+                eprintln!(
+                    "analyze: fix-suppressions: {rel}:{}: no `// analyze::allow(` \
+                     marker on the line, skipped",
+                    s.comment_line
+                );
+                continue;
+            };
+            if apply {
+                if line[..at].trim().is_empty() {
+                    lines.remove(s.comment_line - 1);
+                } else {
+                    let code = line[..at].trim_end().to_string();
+                    lines[s.comment_line - 1] = code;
+                }
+                touched = true;
+                eprintln!(
+                    "analyze: fix-suppressions: removed {rel}:{}: analyze::allow({})",
+                    s.comment_line, s.pass
+                );
+            } else {
+                eprintln!(
+                    "analyze: fix-suppressions: would remove {rel}:{}: \
+                     analyze::allow({}) (re-run with --apply)",
+                    s.comment_line, s.pass
+                );
+            }
+            fixed.push(s.clone());
+        }
+        if apply && touched {
+            let mut text = lines.join("\n");
+            if had_final_newline {
+                text.push('\n');
+            }
+            std::fs::write(&path, text)?;
+        }
+    }
+    Ok(fixed)
 }
 
 /// Stage 1: produces one [`FileRecord`] per file, fanning out over scoped
@@ -737,11 +970,14 @@ mod tests {
             resolved_calls: 15,
             ambiguous_calls: 2,
             external_calls: 3,
+            dist_covered: 5,
+            dist_uncovered: 1,
         };
         let line = stats.render();
         assert!(line.contains("4 files"));
         assert!(line.contains("75.0% hit rate"));
         assert!(line.contains("10 nodes / 20 edges"));
         assert!(line.contains("2 ambiguous"));
+        assert!(line.contains("skeletons: 5/6 public _dist entry points covered (1 uncovered)"));
     }
 }

@@ -30,11 +30,12 @@ use std::path::{Path, PathBuf};
 use crate::analyze::Suppression;
 use crate::callgraph::{CallSite, Evidence, FileSummary, FnSummary};
 use crate::passes::{all_pass_names, Diagnostic};
+use crate::skeleton::{from_wire, to_wire, Skel};
 
 /// Serialization-format / analysis-semantics version. Part of the hash
 /// salt: bump on any change to the scanner, the summary extraction, or a
 /// per-file pass, and every existing record becomes a miss.
-pub const CACHE_VERSION: u32 = 1;
+pub const CACHE_VERSION: u32 = 2;
 
 /// Everything the per-file stage of the analysis produces for one source
 /// file — exactly what the workspace stage (graph build + reconciliation)
@@ -158,8 +159,17 @@ fn write_record(out: &mut String, rec: &FileRecord) {
         }
         out.push('\n');
     }
+    for name in &s.dist_decls {
+        let _ = writeln!(out, "distdecl\t{}", esc(name));
+    }
     for f in &s.fns {
-        let _ = writeln!(out, "fn\t{}\t{}", esc(&f.name), f.line);
+        let _ = writeln!(
+            out,
+            "fn\t{}\t{}\t{}",
+            esc(&f.name),
+            f.line,
+            u8::from(f.is_pub)
+        );
         for c in &f.calls {
             let _ = writeln!(
                 out,
@@ -181,6 +191,10 @@ fn write_record(out: &mut String, rec: &FileRecord) {
         if let Some(e) = &f.collective {
             let _ = writeln!(out, "coll\t{}\t{}", esc(&e.what), e.line);
         }
+        if let Some(e) = &f.p2p {
+            let _ = writeln!(out, "p2p\t{}\t{}", esc(&e.what), e.line);
+        }
+        let _ = writeln!(out, "skel\t{}", esc(&to_wire(&f.skeleton)));
         for e in &f.nondet {
             let _ = writeln!(out, "nondet\t{}\t{}", esc(&e.what), e.line);
         }
@@ -245,6 +259,9 @@ fn parse_record<'a>(rel: &str, lines: impl Iterator<Item = &'a str>) -> Option<F
                     collective: None,
                     nondet: Vec::new(),
                     allocs: Vec::new(),
+                    p2p: None,
+                    is_pub: fields.next()? == "1",
+                    skeleton: Skel::empty(),
                 });
             }
             "call" => {
@@ -282,6 +299,20 @@ fn parse_record<'a>(rel: &str, lines: impl Iterator<Item = &'a str>) -> Option<F
                     what: unesc(fields.next()?)?,
                     line: fields.next()?.parse().ok()?,
                 });
+            }
+            "p2p" => {
+                let f = rec.summary.fns.last_mut()?;
+                f.p2p = Some(Evidence {
+                    what: unesc(fields.next()?)?,
+                    line: fields.next()?.parse().ok()?,
+                });
+            }
+            "skel" => {
+                let f = rec.summary.fns.last_mut()?;
+                f.skeleton = from_wire(&unesc(fields.next()?)?)?;
+            }
+            "distdecl" => {
+                rec.summary.dist_decls.push(unesc(fields.next()?)?);
             }
             "nondet" => {
                 let f = rec.summary.fns.last_mut()?;
@@ -340,6 +371,7 @@ mod tests {
             "gemm_v".to_string(),
             vec!["tt_linalg".to_string(), "gemm".to_string()],
         );
+        summary.dist_decls.push("round_trait_dist".to_string());
         summary.fns.push(FnSummary {
             name: "round_x".to_string(),
             line: 3,
@@ -367,6 +399,22 @@ mod tests {
                 },
                 true,
             )],
+            p2p: Some(Evidence {
+                what: "`.send()`".to_string(),
+                line: 9,
+            }),
+            is_pub: true,
+            skeleton: Skel::Seq(vec![
+                Skel::Coll {
+                    kind: "barrier".to_string(),
+                    tag: crate::skeleton::Expr::Unknown,
+                    line: 6,
+                },
+                Skel::Send {
+                    peer: crate::skeleton::Expr::Rank,
+                    line: 9,
+                },
+            ]),
         });
         FileRecord {
             summary,

@@ -147,6 +147,15 @@ pub struct FnSummary {
     pub nondet: Vec<Evidence>,
     /// Direct allocating constructs, with loop context.
     pub allocs: Vec<(Evidence, bool)>,
+    /// Direct point-to-point op (`.send(` / `.recv(`), if any: first wins.
+    /// Fns that *implement* the primitives (send/recv in the name) are
+    /// exempt — they are the definition of a p2p op, not a use of one.
+    pub p2p: Option<Evidence>,
+    /// Whether the fn carries a visibility qualifier (`pub`, `pub(crate)`,
+    /// ...). Drives `_dist` entry-point discovery for the skeleton passes.
+    pub is_pub: bool,
+    /// Abstract communication skeleton of the body (see [`crate::skeleton`]).
+    pub skeleton: crate::skeleton::Skel,
 }
 
 /// Summary of one source file: its `use`-path import map plus all fn
@@ -161,6 +170,10 @@ pub struct FileSummary {
     pub uses: BTreeMap<String, Vec<String>>,
     /// All non-test `fn` items, in source order.
     pub fns: Vec<FnSummary>,
+    /// Bodyless `pub fn *_dist` declarations (trait methods): named so the
+    /// skeleton-coverage stat can report them honestly as uncovered
+    /// declarations rather than silently skipping them.
+    pub dist_decls: Vec<String>,
 }
 
 /// Nondeterminism sources recognized lexically: `(trigger tokens, label)`.
@@ -227,7 +240,7 @@ const ALLOC_CTORS: &[(&str, &str)] = &[
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Keywords that can precede a `(` without being a call.
-const NON_CALL_KEYWORDS: &[&str] = &[
+pub(crate) const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "while", "for", "match", "return", "loop", "fn", "in", "as", "let", "mut", "ref", "move",
     "pub", "use", "mod", "impl", "struct", "enum", "trait", "where", "dyn", "break", "continue",
     "else",
@@ -246,10 +259,17 @@ impl FileSummary {
             path: path.to_string(),
             uses: extract_uses(model),
             fns: Vec::new(),
+            dist_decls: Vec::new(),
         };
 
         for f in &model.fns {
             let Some((body_start, body_end)) = f.body else {
+                if is_fn_pub(model, f.fn_idx)
+                    && crate::skeleton::is_dist_entry(&f.name)
+                    && !model.in_test.get(f.fn_idx).copied().unwrap_or(false)
+                {
+                    out.dist_decls.push(f.name.clone());
+                }
                 continue;
             };
             if model.in_test.get(f.fn_idx).copied().unwrap_or(false) {
@@ -262,6 +282,9 @@ impl FileSummary {
                 collective: None,
                 nondet: Vec::new(),
                 allocs: Vec::new(),
+                p2p: None,
+                is_pub: is_fn_pub(model, f.fn_idx),
+                skeleton: crate::skeleton::extract_fn(model, body_start, body_end),
             };
 
             // Rank-guarded early-return regions in this fn: past `end`,
@@ -368,6 +391,15 @@ impl FileSummary {
                             line,
                         });
                     }
+                    if matches!(t.text.as_str(), "send" | "recv")
+                        && fs.p2p.is_none()
+                        && !is_p2p_backend(&fs.name)
+                    {
+                        fs.p2p = Some(Evidence {
+                            what: format!("`.{}()`", t.text),
+                            line,
+                        });
+                    }
                     fs.calls.push(CallSite {
                         callee: t.text.clone(),
                         qualifier: None,
@@ -435,6 +467,46 @@ impl FileSummary {
         }
         out
     }
+}
+
+/// True when the `fn` at token `fn_idx` carries a visibility qualifier.
+/// Scans back over the token forms `pub`, `pub(crate)`, `pub(super)`,
+/// `pub(in path)`, and the `const` / `unsafe` / `async` / `extern "C"`
+/// qualifiers that may sit between the visibility and the `fn` keyword.
+fn is_fn_pub(model: &CodeModel, fn_idx: usize) -> bool {
+    let toks = &model.tokens;
+    let mut j = fn_idx;
+    let mut steps = 0usize;
+    while j > 0 && steps < 8 {
+        j -= 1;
+        steps += 1;
+        let t = &toks[j];
+        if t.is_ident("pub") {
+            return true;
+        }
+        let transparent = t.is_punct("(")
+            || t.is_punct(")")
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("self")
+            || t.is_ident("in")
+            || t.is_ident("const")
+            || t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("extern")
+            || t.kind == TokenKind::Str;
+        if !transparent {
+            return false;
+        }
+    }
+    false
+}
+
+/// Fns that implement the p2p primitives themselves (communicator
+/// backends): their `.send(` / `.recv(` bodies define the op rather than
+/// use it, so they never seed the p2p fact.
+fn is_p2p_backend(name: &str) -> bool {
+    name.contains("send") || name.contains("recv")
 }
 
 /// Parses `use` declarations into a name → path-segments map. Handles
@@ -774,13 +846,16 @@ pub struct Facts {
     /// Transitively performs a heap allocation (scratch-pool calls exempt,
     /// see [`SANCTIONED_POOL_METHODS`]).
     pub allocates: Vec<Option<Witness>>,
+    /// Transitively issues a point-to-point send/recv (backend
+    /// implementations exempt at the seed, see `is_p2p_backend`).
+    pub p2p: Vec<Option<Witness>>,
 }
 
 /// Maximum witness-chain length spelled out in messages; deeper chains are
 /// elided with `…` (the fact itself still propagates to any depth).
 const MAX_CHAIN: usize = 4;
 
-/// Runs the three facts to a fixpoint over the graph. Terminates on cycles
+/// Runs the transitive facts to a fixpoint over the graph. Terminates on cycles
 /// because facts only ever switch on (monotone), and is deterministic: the
 /// node order is file order and the first witness found is kept.
 pub fn propagate(g: &CallGraph) -> Facts {
@@ -789,6 +864,7 @@ pub fn propagate(g: &CallGraph) -> Facts {
         collective: vec![None; n],
         nondet: vec![None; n],
         allocates: vec![None; n],
+        p2p: vec![None; n],
     };
 
     // Seed with direct evidence. Alloc-exempt trees (comm layer, tooling,
@@ -817,6 +893,9 @@ pub fn propagate(g: &CallGraph) -> Facts {
                 facts.allocates[ni] = Some(seed(e));
             }
         }
+        if let Some(e) = &fs.p2p {
+            facts.p2p[ni] = Some(seed(e));
+        }
     }
 
     // Monotone fixpoint. Each iteration can only turn facts on, so at most
@@ -834,6 +913,7 @@ pub fn propagate(g: &CallGraph) -> Facts {
                     || is_alloc_exempt(&g.nodes[ni].file);
                 for &t in &edge.targets {
                     changed |= lift(&mut facts.collective, ni, t, &g.nodes[t].name);
+                    changed |= lift(&mut facts.p2p, ni, t, &g.nodes[t].name);
                     // A sanctioned probe never exports nondeterminism to
                     // its callers: whatever it read is memoized into a
                     // process-lifetime constant.

@@ -22,6 +22,7 @@ pub mod lint;
 pub mod passes;
 pub mod sarif;
 pub mod scanner;
+pub mod skeleton;
 
 use std::path::{Path, PathBuf};
 

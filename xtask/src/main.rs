@@ -31,8 +31,10 @@ fn usage() {
         "usage: cargo xtask <task>\n\ntasks:\n  \
          lint                   rustfmt check, clippy deny-list, unwrap/expect source lint, forbid(unsafe_code) audit\n  \
          analyze [flags]        SPMD collective-safety + numeric-discipline passes over library sources,\n                         \
-         including the interprocedural call-graph passes (collective_order, determinism, alloc_hot_path)\n                         \
+         including the interprocedural call-graph passes (collective_order, protocol_match,\n                         \
+         deadlock_check, determinism, alloc_hot_path)\n                         \
          (--format text|json|sarif, --list-passes, --stats, --jobs N, --no-cache,\n                         \
+         --changed-only[=REF], --fix-suppressions [--apply],\n                         \
          --no-check-suppressions; suppress with `// analyze::allow(<pass>): reason`)\n  \
          bench-check [--record] [--simd]\n                         \
          run kernels_* benches; gate blocked-GEMM speedup (min-time floors) and >15% mean-time\n                         \

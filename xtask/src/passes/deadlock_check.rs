@@ -1,0 +1,74 @@
+//! Pass `deadlock_check`: bounded SPMD model checking of `_dist` entry
+//! points.
+//!
+//! The per-file `p2p_pairing` pass matches sends against recvs lexically
+//! within one function; it cannot see a recv-recv cycle split across
+//! files, a collective-count mismatch hidden behind a rank branch, or a
+//! send whose matching recv simply does not exist anywhere. This pass
+//! can: for every public `*_dist` entry point it generates the bounded
+//! per-rank trace sets of the communication skeleton at p ∈ {2, 3, 4}
+//! abstract ranks and exhaustively interleaves every compatible
+//! combination under an eager-send / blocking-recv / rendezvous-collective
+//! model (see [`crate::skeleton`] and DESIGN.md §13).
+//!
+//! Reporting is *angelic*: a finding is emitted only when the trace space
+//! was explored without hitting any budget cap and **no** explored
+//! execution completes cleanly — unknown branches, unbounded loops, and
+//! ambiguous call targets all downgrade to silence, never to a report. The
+//! p ≤ 4 bound is a soundness caveat, not a completeness one: a protocol
+//! broken only at p ≥ 5 passes this gate (and is left to `VerifyComm` at
+//! runtime), but everything this pass flags is a genuine divergence at a
+//! rank count the workspace actually runs in tests.
+
+use super::{Diagnostic, GraphContext, GraphPass};
+use crate::skeleton::{check_entry, is_dist_entry, Verdict};
+
+/// See the module docs.
+pub struct DeadlockCheck;
+
+impl GraphPass for DeadlockCheck {
+    fn name(&self) -> &'static str {
+        "deadlock_check"
+    }
+
+    fn description(&self) -> &'static str {
+        "bounded exhaustive interleaving of each public `_dist` entry point's \
+         communication skeleton at p in {2,3,4}: recv-before-send cycles, unmatched \
+         p2p, collective-count mismatches (DESIGN.md §13)"
+    }
+
+    fn run(&self, cx: &GraphContext<'_>, out: &mut Vec<Diagnostic>) {
+        for ni in 0..cx.graph.nodes.len() {
+            let node = &cx.graph.nodes[ni];
+            if !cx.graph.summary(ni).is_pub || !is_dist_entry(&node.name) {
+                continue;
+            }
+            match check_entry(cx.graph, cx.facts, ni) {
+                Verdict::Clean | Verdict::Inconclusive => {}
+                Verdict::Deadlock { p, detail } => out.push(Diagnostic {
+                    pass: self.name(),
+                    file: node.file.clone(),
+                    line: node.line,
+                    message: format!(
+                        "`{}` deadlocks at p = {p}: every explored interleaving blocks \
+                         ({detail}) — a rank waits on a message or collective that never \
+                         comes; reorder the sends/recvs or make the collective sequence \
+                         rank-uniform",
+                        node.name
+                    ),
+                }),
+                Verdict::Unmatched { p, detail } => out.push(Diagnostic {
+                    pass: self.name(),
+                    file: node.file.clone(),
+                    line: node.line,
+                    message: format!(
+                        "`{}` leaves unmatched point-to-point messages at p = {p}: every \
+                         completing interleaving ends with undelivered sends ({detail}) — \
+                         each send needs a matching recv on the destination rank",
+                        node.name
+                    ),
+                }),
+            }
+        }
+    }
+}

@@ -130,6 +130,11 @@ mod tests {
             suppressed: 1,
             errors: vec!["x.rs:1: malformed suppression".to_string()],
             unused: vec!["y.rs:2: analyze::allow(determinism)".to_string()],
+            unused_sites: vec![crate::analyze::UnusedSite {
+                file: "y.rs".to_string(),
+                comment_line: 2,
+                pass: "determinism".to_string(),
+            }],
             files: 3,
         }
     }

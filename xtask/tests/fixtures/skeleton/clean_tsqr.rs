@@ -1,0 +1,36 @@
+//! Clean TSQR-shaped fixture: binomial upsweep (send up / recv and
+//! remember), rank-0-rooted downsweep, closing broadcast. Every p2p op is
+//! rank-guarded and the bounded interleaving completes at every p in
+//! {2, 3, 4}, so all skeleton passes must stay silent.
+
+pub fn tsqr_combine_dist(comm: &Communicator, buf: f64) {
+    let rank = comm.rank();
+    let p = comm.size();
+    let mut mask = 1;
+    let mut sent_at = 0;
+    let mut sent = 0;
+    while mask < p {
+        if rank & mask != 0 {
+            comm.send(rank - mask, buf);
+            sent_at = mask;
+            sent = 1;
+            break;
+        } else if rank + mask < p {
+            let q = comm.recv(rank + mask);
+        }
+        mask <<= 1;
+    }
+    if rank != 0 {
+        let t = comm.recv(rank - sent_at);
+    }
+    let mut m = mask;
+    while m > 0 {
+        if rank & m == 0 && rank + m < p {
+            if sent == 0 || m < sent_at {
+                comm.send(rank + m, buf);
+            }
+        }
+        m = m / 2;
+    }
+    comm.broadcast(0, buf);
+}

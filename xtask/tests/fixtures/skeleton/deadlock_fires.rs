@@ -1,0 +1,13 @@
+//! `deadlock_check` positive: a ring where every rank posts its blocking
+//! receive before anyone sends. The two halves live in `peers.rs`, so the
+//! per-file `p2p_pairing` pass sees only two documented fragments — it
+//! takes the bounded interleaving of the composed cross-file skeleton to
+//! show that all p ranks block at the recv with no message in flight.
+
+pub fn ring_exchange_dist(comm: &Communicator, buf: f64) -> f64 {
+    let rank = comm.rank();
+    let p = comm.size();
+    let got = pull_from_prev(comm, rank, p);
+    push_to_next(comm, rank, p, buf);
+    got
+}

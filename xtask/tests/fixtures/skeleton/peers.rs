@@ -1,0 +1,18 @@
+//! Cross-file halves of the ring exchange in `deadlock_fires.rs`. Each
+//! helper documents its unpaired half for the per-file `p2p_pairing` pass;
+//! only the interprocedural `deadlock_check` can see that their
+//! composition forms a recv-before-send cycle.
+
+/// Blocking receive from the ring predecessor.
+pub fn pull_from_prev(comm: &Communicator, rank: usize, p: usize) -> f64 {
+    // analyze::allow(p2p_pairing): fixture — the matching send is issued by
+    // the ring successor through `deadlock_fires.rs`.
+    comm.recv((rank + p - 1) % p)
+}
+
+/// Blocking send to the ring successor.
+pub fn push_to_next(comm: &Communicator, rank: usize, p: usize, x: f64) {
+    // analyze::allow(p2p_pairing): fixture — the matching recv is posted by
+    // the ring predecessor through `deadlock_fires.rs`.
+    comm.send((rank + 1) % p, x);
+}

@@ -1,0 +1,10 @@
+//! Unused-suppression fixture: both annotations name real skeleton passes
+//! but match no diagnostic, so `--check-suppressions` (the default) must
+//! report them and `--fix-suppressions --apply` must remove them — the
+//! standalone comment as a whole line, the trailing one back to bare code.
+
+pub fn quiet_dist(comm: &Communicator, x: f64) -> f64 {
+    // analyze::allow(deadlock_check): fixture — nothing deadlocks here.
+    let y = comm.allreduce_sum(x); // analyze::allow(protocol_match): fixture — no rank branch.
+    y
+}

@@ -87,6 +87,24 @@ const FRAGMENTS: &[&str] = &[
     "std::env::var(",
     "pool.take(",
     "if rank == 0 { return; }",
+    // Skeleton-extraction shapes: peer/tag expressions, loop structure,
+    // and the p2p/collective ops the comm interpreter models.
+    "comm.rank()",
+    "comm.size()",
+    "comm.send(rank + 1, buf)",
+    "comm.recv((rank + p - 1) % p)",
+    "comm.barrier()",
+    "comm.broadcast(0, y)",
+    "mask <<= 1",
+    "rank ^ 1",
+    "rank & mask != 0",
+    "for (i, c) in cores.iter().enumerate() {",
+    "while mask < p {",
+    "break",
+    "continue",
+    "%",
+    "<<",
+    "let mut sent = 0;",
 ];
 
 proptest! {
@@ -159,6 +177,57 @@ proptest! {
         let model = CodeModel::build(&src);
         let summary = FileSummary::extract("soup.rs", &model);
         prop_assert_eq!(summary.clone(), FileSummary::extract("soup.rs", &model));
+    }
+
+    #[test]
+    fn skeleton_extraction_is_total_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255u8, 0usize..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let model = CodeModel::build(&src);
+        // Extraction must be total on arbitrary token streams, and the
+        // wire encoding must round-trip every skeleton it produces (the
+        // cache depends on this: a non-identity round-trip would make warm
+        // runs diverge from cold ones).
+        for f in &model.fns {
+            if let Some((open, close)) = f.body {
+                let skel = xtask::skeleton::extract_fn(&model, open, close);
+                let wire = xtask::skeleton::to_wire(&skel);
+                prop_assert!(!wire.contains('\n'), "wire format is single-line");
+                prop_assert_eq!(xtask::skeleton::from_wire(&wire), Some(skel));
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_extraction_is_total_on_fragment_soup(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0usize..64),
+    ) {
+        let src = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let model = CodeModel::build(&src);
+        for f in &model.fns {
+            if let Some((open, close)) = f.body {
+                let skel = xtask::skeleton::extract_fn(&model, open, close);
+                // Deterministic (no hidden state) and wire-stable.
+                prop_assert_eq!(&skel, &xtask::skeleton::extract_fn(&model, open, close));
+                let wire = xtask::skeleton::to_wire(&skel);
+                prop_assert_eq!(xtask::skeleton::from_wire(&wire), Some(skel));
+            }
+        }
+    }
+
+    #[test]
+    fn wire_parse_is_total_on_byte_soup(
+        bytes in proptest::collection::vec(0u8..=255u8, 0usize..256),
+    ) {
+        // The cache feeds `from_wire` whatever is on disk: it must never
+        // panic, only decode or miss.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = xtask::skeleton::from_wire(&text);
     }
 
     #[test]
