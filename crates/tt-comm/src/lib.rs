@@ -33,10 +33,132 @@ pub use cost::{CollectiveKind, CommStats, CostModel};
 pub use thread::ThreadComm;
 pub use verify::{run_verified, run_verified_with_timeout, VerifyComm};
 
+/// A handle to an in-flight nonblocking operation (MPI_Request analog).
+///
+/// Obtained from [`Communicator::iallreduce_sum`], [`Communicator::isend`],
+/// or [`Communicator::irecv`]; consumed by [`Request::wait`], which returns
+/// the operation's result buffer (the reduced vector for an iallreduce, the
+/// received message for an irecv, empty for an isend). [`Request::test`]
+/// polls for completion without blocking.
+///
+/// Dropping a request that was never waited on is a program bug (the posted
+/// operation's result is silently discarded, and on a real backend its
+/// messages would leak into a later receive); in debug builds the drop
+/// panics. The `cargo xtask analyze` `request_pairing` pass flags the same
+/// bug statically.
+pub struct Request<'a> {
+    state: RequestState<'a>,
+}
+
+enum RequestState<'a> {
+    /// Completed locally at post time (single-rank and model backends, and
+    /// eager sends).
+    Ready(Vec<f64>),
+    /// In flight on `host`; completion goes through
+    /// [`Communicator::req_wait`]/[`Communicator::req_test`].
+    Pending { host: &'a dyn Communicator, id: u64 },
+    /// `wait`/`detach` already consumed the result.
+    Discharged,
+}
+
+/// A [`Request`] decoupled from its host borrow — used by decorating
+/// communicators ([`VerifyComm`]) that must store an inner backend's request
+/// inside themselves without creating a self-referential struct.
+pub enum DetachedRequest {
+    /// The operation completed at post time with this payload.
+    Ready(Vec<f64>),
+    /// Still in flight under the host-side id; complete it with
+    /// [`Communicator::req_wait`] on the host that issued it.
+    Pending(u64),
+}
+
+impl<'a> Request<'a> {
+    /// A request that completed at post time.
+    pub fn ready(payload: Vec<f64>) -> Request<'static> {
+        Request {
+            state: RequestState::Ready(payload),
+        }
+    }
+
+    /// A request in flight on `host` under a backend-assigned id.
+    pub fn pending(host: &'a dyn Communicator, id: u64) -> Request<'a> {
+        Request {
+            state: RequestState::Pending { host, id },
+        }
+    }
+
+    /// Blocks until the operation completes and returns its result buffer.
+    pub fn wait(mut self) -> Vec<f64> {
+        match std::mem::replace(&mut self.state, RequestState::Discharged) {
+            RequestState::Ready(v) => v,
+            RequestState::Pending { host, id } => host.req_wait(id),
+            RequestState::Discharged => unreachable!("Request::wait consumes the handle"),
+        }
+    }
+
+    /// Polls for completion: `true` once the result is locally available
+    /// (after which [`Request::wait`] returns without blocking). A `false`
+    /// may be conservative — decorating backends defer completion work to
+    /// `wait` (see `VerifyComm`) — so `test` must never be the only
+    /// completion path.
+    pub fn test(&mut self) -> bool {
+        match &self.state {
+            RequestState::Ready(_) => true,
+            RequestState::Discharged => true,
+            RequestState::Pending { host, id } => match host.req_test(*id) {
+                Some(v) => {
+                    self.state = RequestState::Ready(v);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Splits the handle from its host borrow, marking it discharged; the
+    /// caller takes over completion (decorator backends only).
+    pub fn detach(mut self) -> DetachedRequest {
+        match std::mem::replace(&mut self.state, RequestState::Discharged) {
+            RequestState::Ready(v) => DetachedRequest::Ready(v),
+            RequestState::Pending { id, .. } => DetachedRequest::Pending(id),
+            RequestState::Discharged => unreachable!("Request::detach consumes the handle"),
+        }
+    }
+}
+
+impl Drop for Request<'_> {
+    fn drop(&mut self) {
+        if cfg!(debug_assertions)
+            && !std::thread::panicking()
+            && !matches!(self.state, RequestState::Discharged)
+        {
+            // analyze::allow(panic_surface): dropping an unwaited request silently discards a posted operation's result — a leak this debug panic makes loud
+            panic!(
+                "Request dropped without wait(): a posted nonblocking operation \
+                 was never completed. Every iallreduce_sum/isend/irecv request \
+                 must be discharged with wait() (or detach() in a decorator) on \
+                 every path."
+            );
+        }
+    }
+}
+
 /// MPI-analog communication interface used by the distributed TT kernels.
 ///
 /// All collectives operate on `f64` buffers and must be called by every rank
 /// of the communicator (SPMD style), like their MPI counterparts.
+///
+/// # Nonblocking operations
+///
+/// [`Communicator::iallreduce_sum`], [`Communicator::isend`], and
+/// [`Communicator::irecv`] post an operation and return a [`Request`]
+/// immediately, letting callers overlap communication with local compute;
+/// the blocking `allreduce_sum`/`send`/`recv` have default implementations
+/// as post-then-wait, so trivial backends only implement the nonblocking
+/// forms. Nonblocking point-to-point messages travel on their own virtual
+/// channel: an `isend` matches an `irecv`, a blocking `send` matches a
+/// blocking `recv` (the algorithms use them as distinct tags; backends that
+/// override the blocking ops keep the streams separate).
 pub trait Communicator {
     /// This rank's index in `0..size()`.
     fn rank(&self) -> usize;
@@ -46,7 +168,10 @@ pub trait Communicator {
 
     /// Element-wise global sum; every rank ends with the reduced buffer
     /// (MPI_Allreduce with MPI_SUM).
-    fn allreduce_sum(&self, buf: &mut [f64]);
+    fn allreduce_sum(&self, buf: &mut [f64]) {
+        let out = self.iallreduce_sum(buf.to_vec()).wait();
+        buf.copy_from_slice(&out);
+    }
 
     /// Element-wise global max; every rank ends with the reduced buffer.
     fn allreduce_max(&self, buf: &mut [f64]);
@@ -60,10 +185,49 @@ pub trait Communicator {
     fn allgather(&self, send: &[f64]) -> Vec<f64>;
 
     /// Blocking point-to-point send (used by the TSQR tree).
-    fn send(&self, to: usize, buf: &[f64]);
+    fn send(&self, to: usize, buf: &[f64]) {
+        self.isend(to, buf.to_vec()).wait();
+    }
 
     /// Blocking point-to-point receive of a message from `from`.
-    fn recv(&self, from: usize) -> Vec<f64>;
+    fn recv(&self, from: usize) -> Vec<f64> {
+        self.irecv(from).wait()
+    }
+
+    /// Posts a nonblocking element-wise global sum of `buf` (MPI_Iallreduce
+    /// with MPI_SUM) and returns immediately; [`Request::wait`] yields the
+    /// reduced buffer. Must be posted by every rank (SPMD), and a rank's
+    /// waits must occur in deterministic program positions — see DESIGN.md
+    /// §14 for the determinism contract.
+    fn iallreduce_sum(&self, buf: Vec<f64>) -> Request<'_>;
+
+    /// Posts a nonblocking point-to-point send of `buf` to `to`; the
+    /// returned request's `wait` yields an empty buffer. Matches an `irecv`
+    /// on the peer (not a blocking `recv`; see the trait docs).
+    fn isend(&self, to: usize, buf: Vec<f64>) -> Request<'_>;
+
+    /// Posts a nonblocking point-to-point receive from `from`; `wait`
+    /// yields the message. Matches an `isend` on the peer.
+    fn irecv(&self, from: usize) -> Request<'_>;
+
+    /// Completes the pending request `id`, blocking if necessary (called by
+    /// [`Request::wait`]; not part of the user-facing API). Backends whose
+    /// nonblocking ops always return ready requests never reach this.
+    fn req_wait(&self, id: u64) -> Vec<f64> {
+        // analyze::allow(panic_surface): only reachable if a backend hands out Pending requests without overriding completion — a backend implementation bug
+        panic!(
+            "Communicator::req_wait(id={id}): this backend never returns \
+             pending requests, so no request id can reach it"
+        );
+    }
+
+    /// Polls the pending request `id` (called by [`Request::test`]); `Some`
+    /// carries the result. Backends may conservatively return `None` when
+    /// completion requires blocking work.
+    fn req_test(&self, id: u64) -> Option<Vec<f64>> {
+        let _ = id;
+        None
+    }
 
     /// Synchronization barrier.
     fn barrier(&self);
@@ -135,6 +299,30 @@ impl Communicator for SelfComm {
              with data-dependent messaging (the TSQR reduction tree in \
              tt_core::round::tsqr) must branch on size() == 1 and take their \
              sequential path instead of receiving."
+        );
+    }
+    fn iallreduce_sum(&self, buf: Vec<f64>) -> Request<'_> {
+        // Single rank: the local contribution is the global sum, completed
+        // at post time.
+        Request::ready(buf)
+    }
+    fn isend(&self, to: usize, buf: Vec<f64>) -> Request<'_> {
+        // analyze::allow(panic_surface): single-rank backend — p2p here is a caller contract violation; the message documents the required size()==1 branch
+        panic!(
+            "SelfComm::isend(to={to}, len={}): SelfComm has a single rank, so \
+             point-to-point communication is always a caller bug. Algorithms \
+             with data-dependent messaging must branch on size() == 1 and take \
+             their sequential path instead of sending.",
+            buf.len()
+        );
+    }
+    fn irecv(&self, from: usize) -> Request<'_> {
+        // analyze::allow(panic_surface): single-rank backend — p2p here is a caller contract violation; the message documents the required size()==1 branch
+        panic!(
+            "SelfComm::irecv(from={from}): SelfComm has a single rank, so \
+             point-to-point communication is always a caller bug. Algorithms \
+             with data-dependent messaging must branch on size() == 1 and take \
+             their sequential path instead of receiving."
         );
     }
     fn barrier(&self) {}
@@ -222,6 +410,32 @@ impl Communicator for ModelComm {
              record_event(), as tt_core::round::tsqr::tsqr_q does."
         );
     }
+    fn iallreduce_sum(&self, buf: Vec<f64>) -> Request<'_> {
+        // Same accounting as the blocking form: the event is priced at post
+        // time (the model has no notion of in-flight time), and the local
+        // contribution is returned untouched.
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::Allreduce, buf.len());
+        Request::ready(buf)
+    }
+    fn isend(&self, _to: usize, buf: Vec<f64>) -> Request<'_> {
+        self.stats
+            .borrow_mut()
+            .record(CollectiveKind::PointToPoint, buf.len());
+        Request::ready(Vec::new())
+    }
+    fn irecv(&self, from: usize) -> Request<'_> {
+        // analyze::allow(panic_surface): model backend cannot materialize peer data — recv is a documented contract violation, not a recoverable error
+        panic!(
+            "ModelComm::irecv(from={from}): a performance-model backend plays \
+             one representative rank and cannot materialize data another rank \
+             would have sent. Algorithms with data-dependent messaging must \
+             check is_model() and take their model-aware path — execute the \
+             local computation and account for the messages with \
+             record_event()."
+        );
+    }
     fn barrier(&self) {}
     fn stats(&self) -> CommStats {
         self.stats.borrow().clone()
@@ -268,6 +482,54 @@ mod tests {
     #[should_panic(expected = "model-aware path")]
     fn model_comm_recv_names_the_model_aware_path() {
         ModelComm::new(4).recv(1);
+    }
+
+    #[test]
+    fn self_comm_iallreduce_completes_at_post() {
+        let c = SelfComm::new();
+        let mut req = c.iallreduce_sum(vec![3.0, 4.0]);
+        assert!(req.test(), "single-rank requests are ready immediately");
+        assert_eq!(req.wait(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential path instead of sending")]
+    fn self_comm_isend_names_the_sequential_path() {
+        let _ = SelfComm::new().isend(0, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential path instead of receiving")]
+    fn self_comm_irecv_names_the_sequential_path() {
+        let _ = SelfComm::new().irecv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "model-aware path")]
+    fn model_comm_irecv_names_the_model_aware_path() {
+        let _ = ModelComm::new(4).irecv(1);
+    }
+
+    #[test]
+    fn model_comm_nonblocking_records_like_blocking() {
+        let c = ModelComm::new(8);
+        let req = c.iallreduce_sum(vec![0.0; 25]);
+        assert_eq!(req.wait(), vec![0.0; 25]);
+        c.isend(3, vec![1.0; 7]).wait();
+        let s = c.stats();
+        assert_eq!(s.count(CollectiveKind::Allreduce), 1);
+        assert_eq!(s.words(CollectiveKind::Allreduce), 25);
+        assert_eq!(s.count(CollectiveKind::PointToPoint), 1);
+        assert_eq!(s.words(CollectiveKind::PointToPoint), 7);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "drop check is debug-only")]
+    #[should_panic(expected = "Request dropped without wait()")]
+    fn dropping_an_unwaited_request_panics_in_debug() {
+        let c = SelfComm::new();
+        let req = c.iallreduce_sum(vec![1.0]);
+        drop(req);
     }
 
     #[test]

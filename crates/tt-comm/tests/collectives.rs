@@ -80,6 +80,59 @@ proptest! {
         }
     }
 
+    /// Posting an iallreduce and waiting immediately is bitwise identical to
+    /// the blocking allreduce_sum for arbitrary rank counts and payloads.
+    #[test]
+    fn iallreduce_post_then_wait_matches_blocking(p in 1usize..=6, len in 1usize..40, seed in any::<u32>()) {
+        let contribution = |rank: usize, i: usize| -> f64 {
+            (((seed as usize).wrapping_mul(43) + rank * 97 + i * 11) % 1000) as f64 - 500.0
+        };
+        let results = ThreadComm::run(p, |comm| {
+            let local: Vec<f64> = (0..len).map(|i| contribution(comm.rank(), i)).collect();
+            let mut blocking = local.clone();
+            comm.allreduce_sum(&mut blocking);
+            let nonblocking = comm.iallreduce_sum(local).wait();
+            (blocking, nonblocking)
+        });
+        for (blocking, nonblocking) in results {
+            // Bitwise: the nonblocking path replays the blocking combine order.
+            prop_assert_eq!(blocking, nonblocking);
+        }
+    }
+
+    /// Two in-flight iallreduces can be waited in either order and each
+    /// returns its own reduction, unperturbed by the other.
+    #[test]
+    fn out_of_order_waits_return_matching_payloads(
+        p in 2usize..=6,
+        len_a in 1usize..20,
+        len_b in 1usize..20,
+        wait_b_first in any::<bool>(),
+    ) {
+        let expect_a: f64 = (0..p).map(|r| (r + 1) as f64).sum();
+        let expect_b: f64 = (0..p).map(|r| (r * 2) as f64).sum();
+        let results = ThreadComm::run(p, |comm| {
+            let a = comm.iallreduce_sum(vec![(comm.rank() + 1) as f64; len_a]);
+            let b = comm.iallreduce_sum(vec![(comm.rank() * 2) as f64; len_b]);
+            if wait_b_first {
+                let vb = b.wait();
+                (a.wait(), vb)
+            } else {
+                (a.wait(), b.wait())
+            }
+        });
+        for (va, vb) in results {
+            prop_assert_eq!(va.len(), len_a);
+            prop_assert_eq!(vb.len(), len_b);
+            for v in va {
+                prop_assert_eq!(v, expect_a);
+            }
+            for v in vb {
+                prop_assert_eq!(v, expect_b);
+            }
+        }
+    }
+
     /// Chained collectives don't interleave payloads (ordering safety).
     #[test]
     fn repeated_collectives_stay_ordered(p in 2usize..=5, rounds in 1usize..6) {
@@ -99,4 +152,15 @@ proptest! {
             }
         }
     }
+}
+
+/// Letting a `Request` go out of scope without `wait`/`test` is a leaked
+/// rendezvous; the debug drop guard turns it into an immediate panic.
+#[test]
+#[cfg_attr(not(debug_assertions), ignore = "drop check is debug-only")]
+#[should_panic(expected = "Request dropped without wait()")]
+fn dropping_an_unwaited_request_panics_in_debug() {
+    ThreadComm::run(1, |comm| {
+        let _forgotten = comm.iallreduce_sum(vec![1.0, 2.0]);
+    });
 }

@@ -39,6 +39,11 @@ pub fn scatter_tensor(full: &TtTensor, comm: &impl Communicator) -> TtTensor {
 /// Reassembles the full tensor on every rank from the local blocks
 /// (test/diagnostic utility; an allreduce per core).
 ///
+/// The per-core reductions are independent, so each core's allreduce is
+/// posted as soon as its zero-padded buffer is packed and the next core
+/// packs while it flies; waits run in post order, so every rank consumes
+/// identical bytes in identical order.
+///
 /// `global_dims` are the full mode dimensions.
 pub fn gather_tensor(
     local: &TtTensor,
@@ -47,7 +52,7 @@ pub fn gather_tensor(
 ) -> TtTensor {
     let p = comm.size();
     let r = comm.rank();
-    let cores = local
+    let posted: Vec<_> = local
         .cores()
         .iter()
         .enumerate()
@@ -67,9 +72,23 @@ pub fn gather_tensor(
                     }
                 }
             }
-            let mut v = full.into_v();
-            comm.allreduce_sum(v.as_mut_slice());
-            TtCore::from_v(v, c.r0(), full_i, c.r1())
+            (
+                comm.iallreduce_sum(full.into_v().into_vec()),
+                c.r0(),
+                full_i,
+                c.r1(),
+            )
+        })
+        .collect();
+    let cores = posted
+        .into_iter()
+        .map(|(req, r0, full_i, r1)| {
+            TtCore::from_v(
+                Matrix::from_col_major(r0 * full_i, r1, req.wait()),
+                r0,
+                full_i,
+                r1,
+            )
         })
         .collect();
     TtTensor::new(cores)
@@ -83,7 +102,9 @@ pub fn allreduce_matrix(comm: &impl Communicator, m: &mut Matrix) {
 /// Distributed inner product of two TT tensors given their local blocks.
 ///
 /// One local `gemm` pair plus one allreduce per mode; every rank returns the
-/// same global value.
+/// same global value. This chain is strictly serial — mode `k+1`'s `gemm`
+/// consumes the reduced `w_k` — so there is no independent local work to
+/// hide an allreduce behind and the waits stay at their post sites.
 pub fn inner_local(comm: &impl Communicator, x: &TtTensor, y: &TtTensor) -> f64 {
     assert_eq!(
         x.dims(),

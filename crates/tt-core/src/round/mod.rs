@@ -65,6 +65,13 @@ pub struct RoundingOptions {
     /// Gram-matrix accumulation precision (Gram-SVD variants only; the QR
     /// baseline ignores it).
     pub gram_precision: GramPrecision,
+    /// Overlap each bond's Gram allreduce with the next bond's local work
+    /// (post with `iallreduce_sum`, wait only when the truncation decision
+    /// needs the reduced matrix). On by default; `serial_waits()` restores
+    /// the post-and-immediately-wait schedule for A/B benchmarking. Both
+    /// schedules consume identical bytes in identical order, so they are
+    /// bitwise identical — pinned by the agreement suites.
+    pub overlap: bool,
 }
 
 impl RoundingOptions {
@@ -74,6 +81,7 @@ impl RoundingOptions {
             tolerance,
             max_rank: None,
             gram_precision: GramPrecision::F64,
+            overlap: true,
         }
     }
 
@@ -89,6 +97,14 @@ impl RoundingOptions {
         self.gram_precision = GramPrecision::F32;
         self
     }
+
+    /// Disables comm/compute overlap: every Gram allreduce is waited
+    /// immediately at its post site. The result is bitwise identical to the
+    /// pipelined schedule; only the wall-clock differs.
+    pub fn serial_waits(mut self) -> Self {
+        self.overlap = false;
+        self
+    }
 }
 
 impl Default for RoundingOptions {
@@ -97,6 +113,7 @@ impl Default for RoundingOptions {
             tolerance: 1e-10,
             max_rank: None,
             gram_precision: GramPrecision::F64,
+            overlap: true,
         }
     }
 }

@@ -124,6 +124,52 @@ fn rank_capped_distributed_rounding() {
     }
 }
 
+/// The tentpole determinism pin for comm/compute overlap: the pipelined
+/// schedule (allreduces posted early, waits moved to the consumption site)
+/// must be **bitwise identical** to the serial-wait schedule at every rank
+/// count — same local ops on same inputs, same reduction association order,
+/// only the wait sites move. Runs under `VerifyComm`, so both schedules'
+/// collective streams are also fingerprint-checked across ranks.
+#[test]
+fn pipelined_sweep_bitwise_matches_serial_waits() {
+    let x = redundant(&[8, 6, 9, 7], 3, 42);
+    let dims = x.dims();
+    let pipelined_opts = RoundingOptions::with_tolerance(1e-9);
+    let serial_opts = RoundingOptions::with_tolerance(1e-9).serial_waits();
+    assert!(pipelined_opts.overlap && !serial_opts.overlap);
+    for variant in ["rlr", "lrl", "sim"] {
+        for p in [1usize, 2, 3, 4] {
+            let mut gathered = Vec::new();
+            for opts in [&pipelined_opts, &serial_opts] {
+                let results = run_verified(p, |comm| {
+                    let local = scatter_tensor(&x, &comm);
+                    let (rounded, report) = match variant {
+                        "rlr" => round_gram_seq_dist(&comm, &local, opts, GramOrder::Rlr),
+                        "lrl" => round_gram_seq_dist(&comm, &local, opts, GramOrder::Lrl),
+                        "sim" => round_gram_sim_dist(&comm, &local, opts),
+                        _ => unreachable!(),
+                    };
+                    (gather_tensor(&rounded, &dims, &comm), report.norm)
+                });
+                gathered.push(results);
+            }
+            let serial = gathered.pop().unwrap();
+            let pipelined = gathered.pop().unwrap();
+            for (rank, ((tp, np), (ts, ns))) in pipelined.into_iter().zip(serial).enumerate() {
+                assert_eq!(
+                    np.to_bits(),
+                    ns.to_bits(),
+                    "{variant} p={p} rank {rank}: norm bits diverge"
+                );
+                assert_eq!(
+                    tp, ts,
+                    "{variant} p={p} rank {rank}: pipelined != serial-wait"
+                );
+            }
+        }
+    }
+}
+
 /// The acceptance scenario for the verification layer: a deliberately
 /// mis-sequenced distributed rounding run — rank 0 slips one extra
 /// collective in front of the sweep, the classic SPMD divergence bug —

@@ -257,6 +257,14 @@ pub fn bench_check(repo: &Path, args: &[String]) -> ExitCode {
         failures.extend(rounding_check(repo, record));
     }
 
+    // 5. Comm/compute overlap gate (scalar pass only, same reasoning): the
+    //    pipelined distributed sweep must beat the serial-wait schedule on
+    //    machines with enough hardware threads to actually overlap, and
+    //    both schedules ride the regression gate everywhere.
+    if !simd {
+        failures.extend(overlap_check(repo, record, enforce_par));
+    }
+
     if failures.is_empty() {
         eprintln!("bench-check: all gates passed");
         ExitCode::SUCCESS
@@ -756,6 +764,171 @@ fn write_rounding_baseline(path: &Path, entries: &[RoundingEntry]) -> Result<(),
     std::fs::write(path, text)
 }
 
+// ---------------------------------------------------------------------------
+// Comm/compute overlap gate: pipelined vs serial-wait distributed rounding.
+// ---------------------------------------------------------------------------
+
+/// Required pipelined-over-serial speedup of the distributed Gram sweep,
+/// enforced only on machines with at least [`PAR_MIN_HW_THREADS`] hardware
+/// threads: on fewer cores the thread "ranks" share a core and there is no
+/// idle silicon to hide the communication behind — the pipelined schedule
+/// legitimately reads ~1.0x (or below, paying the bookkeeping) there.
+const OVERLAP_SPEEDUP_FLOOR: f64 = 1.15;
+
+/// Bench ids of the overlap pair, as emitted by `dist_overlap` at P = 4.
+const OVERLAP_PIPELINED_ID: &str = "dist_overlap_pipelined/p4";
+const OVERLAP_SERIAL_ID: &str = "dist_overlap_serial/p4";
+
+/// Runs the comm/compute overlap gate: the pipelined schedule must clear
+/// [`OVERLAP_SPEEDUP_FLOOR`] over serial waits (hardware-gated like the
+/// parallel kernel floors), and both schedules check the usual mean-time
+/// regression against `results/BENCH_dist_overlap.json`. Timing misses
+/// retry like every other gate; the bin itself asserts the two schedules'
+/// rank decisions agree, so a divergence fails structurally (non-retryable
+/// process error), never silently.
+fn overlap_check(repo: &Path, record: bool, enforce_floor: bool) -> Vec<String> {
+    let json_path = repo.join("target/bench-overlap.jsonl");
+    let baseline_path = repo.join("results/BENCH_dist_overlap.json");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .map(|text| parse_entries(&text));
+    if baseline.is_none() && !record {
+        eprintln!(
+            "bench-check: no overlap baseline at {}; recording one from this run",
+            baseline_path.display()
+        );
+    }
+    if !enforce_floor {
+        eprintln!(
+            "bench-check: fewer than {PAR_MIN_HW_THREADS} hardware threads; the {OVERLAP_SPEEDUP_FLOOR}x overlap floor is skipped on this machine"
+        );
+    }
+
+    let mut merged: Vec<Entry> = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        eprintln!("bench-check: dist overlap attempt {attempt}/{MAX_ATTEMPTS}...");
+        let run = match run_overlap_bench(repo, &json_path) {
+            Ok(run) => run,
+            Err(msg) => return vec![format!("dist overlap: {msg}")],
+        };
+        merge_best(&mut merged, run);
+        let failures = evaluate_overlap(&merged, baseline.as_deref(), record, enforce_floor, false);
+        if failures.is_empty() || !retryable(&failures) {
+            break;
+        }
+        if attempt < MAX_ATTEMPTS {
+            eprintln!(
+                "bench-check: overlap timing gate missed on attempt {attempt}; retrying to discount scheduler noise"
+            );
+        }
+    }
+
+    let failures = evaluate_overlap(&merged, baseline.as_deref(), record, enforce_floor, true);
+    if failures.is_empty() && (record || baseline.is_none()) {
+        if let Err(e) = write_baseline(&baseline_path, &merged) {
+            return vec![format!("could not write overlap baseline: {e}")];
+        }
+        eprintln!(
+            "bench-check: overlap baseline written to {}",
+            baseline_path.display()
+        );
+    }
+    failures
+}
+
+/// Runs the `dist_overlap` binary once and parses its JSONL output.
+fn run_overlap_bench(repo: &Path, json_path: &Path) -> Result<Vec<Entry>, String> {
+    let _ = std::fs::remove_file(json_path);
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "tt-bench",
+            "--bin",
+            "dist_overlap",
+            "--",
+            "--json",
+        ])
+        .arg(json_path)
+        .current_dir(repo)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => return Err(format!("dist_overlap exited with {s}")),
+        Err(e) => return Err(format!("dist_overlap could not run: {e}")),
+    }
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|e| format!("no results at {}: {e}", json_path.display()))?;
+    let run = parse_entries(&text);
+    if run.is_empty() {
+        return Err("overlap run produced zero dist_overlap_* results".to_string());
+    }
+    Ok(run)
+}
+
+/// Applies the overlap floor (best-observed times, hardware-gated) and the
+/// mean-time regression gate, returning the failure list.
+fn evaluate_overlap(
+    current: &[Entry],
+    baseline: Option<&[Entry]>,
+    record: bool,
+    enforce_floor: bool,
+    verbose: bool,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    match (
+        find(current, OVERLAP_PIPELINED_ID),
+        find(current, OVERLAP_SERIAL_ID),
+    ) {
+        (Some(pipe), Some(serial)) => {
+            let speedup = serial.min_ns as f64 / pipe.min_ns.max(1) as f64;
+            if verbose {
+                eprintln!(
+                    "bench-check: dist overlap p4    pipelined {:>12} ns  serial {:>12} ns  speedup {speedup:.2}x{}",
+                    pipe.min_ns,
+                    serial.min_ns,
+                    if enforce_floor { "" } else { "  (floor skipped)" }
+                );
+            }
+            if enforce_floor && speedup < OVERLAP_SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "pipelined distributed sweep is {speedup:.2}x the serial-wait schedule (below the {OVERLAP_SPEEDUP_FLOOR}x overlap floor at 4 ranks)"
+                ));
+            }
+        }
+        _ => failures.push(format!(
+            "missing bench results for dist overlap ({OVERLAP_PIPELINED_ID} / {OVERLAP_SERIAL_ID})"
+        )),
+    }
+    if !record {
+        for cur in current {
+            let Some(prev) = baseline.and_then(|base| find(base, &cur.id)) else {
+                if verbose {
+                    eprintln!("bench-check: {} has no baseline entry (new bench)", cur.id);
+                }
+                continue;
+            };
+            let limit = prev.mean_ns as f64 * REGRESSION_FACTOR;
+            if cur.mean_ns as f64 > limit {
+                failures.push(format!(
+                    "{}: mean {} ns regressed >{:.0}% over baseline {} ns",
+                    cur.id,
+                    cur.mean_ns,
+                    (REGRESSION_FACTOR - 1.0) * 100.0,
+                    prev.mean_ns
+                ));
+            } else if verbose {
+                eprintln!(
+                    "bench-check: {:<40} mean {:>12} ns  baseline {:>12} ns  ok",
+                    cur.id, cur.mean_ns, prev.mean_ns
+                );
+            }
+        }
+    }
+    failures
+}
+
 /// Writes the baseline as a JSON array with one entry object per line, so
 /// the same line parser reads it back.
 fn write_baseline(path: &Path, entries: &[Entry]) -> Result<(), std::io::Error> {
@@ -1213,6 +1386,58 @@ mod tests {
         assert_eq!(back[0].rel_err, 1.5e-6);
         assert_eq!(back[0].bound, 1e-4);
         assert_eq!(back[0].max_rank, 12);
+    }
+
+    /// A passing overlap pair: 1.25x pipelined-over-serial on best times.
+    fn overlap_current() -> Vec<Entry> {
+        vec![
+            entry(OVERLAP_PIPELINED_ID, 900, 800),
+            entry(OVERLAP_SERIAL_ID, 1100, 1000),
+        ]
+    }
+
+    #[test]
+    fn overlap_floor_is_hardware_gated() {
+        let current = overlap_current();
+        assert!(evaluate_overlap(&current, None, true, true, false).is_empty());
+        // Pipelined no faster than serial: fails the floor on a big box...
+        let mut flat = current.clone();
+        if let Some(e) = flat.iter_mut().find(|e| e.id == OVERLAP_PIPELINED_ID) {
+            e.min_ns = 1000;
+        }
+        let failures = evaluate_overlap(&flat, None, true, true, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("below the 1.15x overlap floor"));
+        assert!(retryable(&failures));
+        // ...and is skipped on a machine without the threads to overlap.
+        assert!(evaluate_overlap(&flat, None, true, false, false).is_empty());
+    }
+
+    #[test]
+    fn overlap_regression_gate_uses_mean_and_respects_record() {
+        let base = overlap_current();
+        // Identical run: clean even with the floor enforced.
+        assert!(evaluate_overlap(&base, Some(&base), false, true, false).is_empty());
+        // A fattened pipelined mean regresses against the baseline even
+        // though its best time still clears the floor.
+        let mut slow = base.clone();
+        if let Some(e) = slow.iter_mut().find(|e| e.id == OVERLAP_PIPELINED_ID) {
+            e.mean_ns = 1100; // baseline mean 900, min unchanged
+        }
+        let failures = evaluate_overlap(&slow, Some(&base), false, true, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"));
+        // Recording skips the regression gate.
+        assert!(evaluate_overlap(&slow, Some(&base), true, true, false).is_empty());
+    }
+
+    #[test]
+    fn missing_overlap_results_are_structural_failures() {
+        let current = vec![entry(OVERLAP_PIPELINED_ID, 900, 800)];
+        let failures = evaluate_overlap(&current, None, true, false, false);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing bench results for dist overlap"));
+        assert!(!retryable(&failures));
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::skeleton::{from_wire, to_wire, Skel};
 /// Serialization-format / analysis-semantics version. Part of the hash
 /// salt: bump on any change to the scanner, the summary extraction, or a
 /// per-file pass, and every existing record becomes a miss.
-pub const CACHE_VERSION: u32 = 2;
+pub const CACHE_VERSION: u32 = 3;
 
 /// Everything the per-file stage of the analysis produces for one source
 /// file — exactly what the workspace stage (graph build + reconciliation)

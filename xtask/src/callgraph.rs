@@ -385,13 +385,15 @@ impl FileSummary {
                     // Method call. (The site below is still recorded for a
                     // collective so `collective_order` reasons about direct
                     // calls uniformly.)
-                    if COLLECTIVES.contains(&t.text.as_str()) && fs.collective.is_none() {
+                    if (COLLECTIVES.contains(&t.text.as_str()) || t.text == "iallreduce_sum")
+                        && fs.collective.is_none()
+                    {
                         fs.collective = Some(Evidence {
                             what: format!("`.{}()`", t.text),
                             line,
                         });
                     }
-                    if matches!(t.text.as_str(), "send" | "recv")
+                    if matches!(t.text.as_str(), "send" | "recv" | "isend" | "irecv")
                         && fs.p2p.is_none()
                         && !is_p2p_backend(&fs.name)
                     {
@@ -701,7 +703,8 @@ impl CallGraph {
                 // Collective primitives are direct evidence, not edges: the
                 // backends *implement* the operation, and propagating
                 // through them would re-derive what the direct fact states.
-                if COLLECTIVES.contains(&site.callee.as_str()) {
+                // The nonblocking post is the same primitive surface.
+                if COLLECTIVES.contains(&site.callee.as_str()) || site.callee == "iallreduce_sum" {
                     node_edges.push(Edge {
                         site: site.clone(),
                         targets: Vec::new(),

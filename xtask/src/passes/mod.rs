@@ -20,6 +20,7 @@ pub mod p2p_pairing;
 pub mod panic_surface;
 pub mod protocol_match;
 pub mod rank_collective;
+pub mod request_pairing;
 pub mod thread_discipline;
 
 /// One finding of one pass.
@@ -60,6 +61,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(rank_collective::RankCollective),
         Box::new(p2p_pairing::P2pPairing),
+        Box::new(request_pairing::RequestPairing),
         Box::new(float_discipline::FloatCmp),
         Box::new(float_discipline::NarrowCast),
         Box::new(panic_surface::PanicSurface),

@@ -60,6 +60,12 @@ fn seq_of(
             CollSeq::Known(out)
         }
         Skel::Coll { kind, .. } => CollSeq::Known(vec![kind.clone()]),
+        // A posted i-collective enters the rank's stream at the *post*
+        // site — exactly where VerifyComm records its fingerprint (the
+        // cross-rank check merely runs later, at the wait). p2p posts and
+        // waits contribute nothing to the collective sequence.
+        Skel::Post { kind, .. } if kind == "iallreduce_sum" => CollSeq::Known(vec![kind.clone()]),
+        Skel::Post { .. } | Skel::Wait { .. } => CollSeq::Known(Vec::new()),
         Skel::Send { .. } | Skel::Recv { .. } => CollSeq::Known(Vec::new()),
         Skel::Let { .. } | Skel::Mut { .. } => CollSeq::Known(Vec::new()),
         // Control escapes make the suffix of the enclosing arm

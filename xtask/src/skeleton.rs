@@ -12,8 +12,9 @@
 //!
 //! 1. **Skeleton IR** — [`Skel`], an ordered tree of communication
 //!    operations (collective kind + tag expression, send/recv with
-//!    peer-rank expression) under the function's loop/branch structure,
-//!    with rank-conditional branches marked. [`extract_fn`] builds it
+//!    peer-rank expression, nonblocking post/wait pairs modeled as
+//!    *deferred rendezvous* — see [`Skel::Post`]) under the function's
+//!    loop/branch structure, with rank-conditional branches marked. [`extract_fn`] builds it
 //!    per `fn` from the token-level [`CodeModel`]; like the scanner it is
 //!    *total* — arbitrary byte soup degrades to `Unknown` expressions and
 //!    empty blocks, never to a panic (property-tested).
@@ -39,7 +40,7 @@
 //! at the cost of missing bugs hidden behind the caps, which is the right
 //! trade for a lint gate (DESIGN.md §13 spells out the p ≤ 4 caveat).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::callgraph::{CallGraph, Facts};
 use crate::passes::{is_rank_ident, COLLECTIVES};
@@ -567,6 +568,22 @@ pub enum Skel {
     Send { peer: Expr, line: usize },
     /// `comm.recv(peer)`.
     Recv { peer: Expr, line: usize },
+    /// Nonblocking post: `comm.iallreduce_sum(..)` / `comm.isend(peer, ..)`
+    /// / `comm.irecv(from)`. The rendezvous is *deferred*: an `isend`'s
+    /// payload transmits eagerly at the post site (matching the runtime),
+    /// while an `irecv`/`iallreduce_sum` enqueues its abstract op on the
+    /// rank's pending FIFO and a later [`Skel::Wait`] emits it. Emission
+    /// order therefore equals post order — the same invariant the runtime's
+    /// FIFO request completion enforces.
+    Post {
+        kind: String,
+        arg: Expr,
+        line: usize,
+    },
+    /// `req.wait()` / `req.test()`: retires the oldest pending request
+    /// (emitting its deferred op, if any). A wait with nothing pending is a
+    /// no-op — `.wait()` on a non-`Request` receiver extracts here too.
+    Wait { line: usize },
     /// Call site (resolved against the call graph at interpretation time).
     Call {
         callee: String,
@@ -1006,6 +1023,20 @@ fn parse_stmts(model: &CodeModel, lo: usize, hi: usize, depth: usize) -> Vec<Ske
                             out.push(Skel::Recv { peer: arg0, line });
                             i = close + 1;
                         }
+                        k @ ("iallreduce_sum" | "isend" | "irecv") => {
+                            out.push(Skel::Post {
+                                kind: k.to_string(),
+                                arg: arg0,
+                                line,
+                            });
+                            i = close + 1;
+                        }
+                        "wait" | "test" if args.is_empty() => {
+                            // Zero-arg only: `Condvar::wait(guard)` and
+                            // friends fall through to the generic call arm.
+                            out.push(Skel::Wait { line });
+                            i = close + 1;
+                        }
                         "rank" | "size" => {
                             // Value reads, no comm op.
                             i = close + 1;
@@ -1291,6 +1322,14 @@ fn skel_wire(s: &Skel, out: &mut String) {
             expr_wire(peer, out);
             out.push(')');
         }
+        Skel::Post { kind, arg, line } => {
+            let _ = write!(out, "(p {kind} {line} ");
+            expr_wire(arg, out);
+            out.push(')');
+        }
+        Skel::Wait { line } => {
+            let _ = write!(out, "(v {line})");
+        }
         Skel::Call {
             callee,
             qualifier,
@@ -1512,6 +1551,12 @@ impl WireParser<'_> {
                 line: self.num()?,
                 peer: self.expr()?,
             },
+            "p" => Skel::Post {
+                kind: self.atom()?,
+                line: self.num()?,
+                arg: self.expr()?,
+            },
+            "v" => Skel::Wait { line: self.num()? },
             "k" => {
                 let callee = self.atom()?;
                 let q = self.atom()?;
@@ -1688,6 +1733,12 @@ struct Th {
     decs: Vec<Dec>,
     occ: BTreeMap<usize, usize>,
     flow: Flow,
+    /// Posted-but-unretired nonblocking requests, in post order. `None` is
+    /// an `isend` placeholder (its `Send` already emitted eagerly); `Some`
+    /// holds the deferred `Recv`/`Coll` op a later `Wait` will emit. The
+    /// FIFO mirrors the runtime invariant that requests complete in post
+    /// order regardless of which handle is waited first.
+    pending: VecDeque<Option<Op>>,
 }
 
 impl Default for Th {
@@ -1698,6 +1749,7 @@ impl Default for Th {
             decs: Vec::new(),
             occ: BTreeMap::new(),
             flow: Flow::Normal,
+            pending: VecDeque::new(),
         }
     }
 }
@@ -1791,6 +1843,7 @@ impl Gen<'_> {
         match s {
             Skel::Seq(xs) => xs.iter().any(|x| self.has_effect(x, ni)),
             Skel::Coll { .. } | Skel::Send { .. } | Skel::Recv { .. } => true,
+            Skel::Post { .. } | Skel::Wait { .. } => true,
             Skel::Brk | Skel::Cont | Skel::Ret => true,
             Skel::Call { callee, line, .. } => !self.inline_targets(ni, *line, callee).is_empty(),
             Skel::If { then, els, .. } => self.has_effect(then, ni) || self.has_effect(els, ni),
@@ -1982,6 +2035,64 @@ impl Gen<'_> {
                         line: *line,
                     },
                 );
+                vec![th]
+            }
+            Skel::Post { kind, arg, line } => {
+                if th.pending.len() >= MAX_OPS {
+                    self.capped = true;
+                    return vec![th];
+                }
+                match kind.as_str() {
+                    "isend" => {
+                        // Payload transmits at post time (eager buffering in
+                        // the runtime): the Send is emitted here and the
+                        // queue only gets a placeholder for the wait to
+                        // retire.
+                        let pv = self.peer_val(self.eval(arg, &th.env));
+                        self.push_op(
+                            &mut th,
+                            Op::Send {
+                                peer: pv,
+                                line: *line,
+                            },
+                        );
+                        th.pending.push_back(None);
+                    }
+                    "irecv" => {
+                        let pv = self.peer_val(self.eval(arg, &th.env));
+                        th.pending.push_back(Some(Op::Recv {
+                            peer: pv,
+                            line: *line,
+                        }));
+                    }
+                    _ => {
+                        // `iallreduce_sum`: a deferred collective. The kind
+                        // string is kept distinct from the blocking
+                        // `allreduce_sum` — the runtime routes them over
+                        // separate channels, so mixing them across ranks is
+                        // a real mismatch the rendezvous check must see.
+                        let tv = match self.eval(arg, &th.env) {
+                            Val::Int { v, .. } => TagVal::Known(v),
+                            Val::Unk { .. } => TagVal::Any,
+                        };
+                        th.pending.push_back(Some(Op::Coll {
+                            kind: kind.clone(),
+                            tag: tv,
+                            line: *line,
+                        }));
+                    }
+                }
+                vec![th]
+            }
+            Skel::Wait { .. } => {
+                // Retire the oldest pending request; emit its deferred op at
+                // this wait site. Which *handle* is waited is immaterial —
+                // runtime completion is FIFO in post order — so the lexical
+                // queue is the faithful (and decidable) model. Nothing
+                // pending means a foreign `.wait()`: no-op.
+                if let Some(Some(op)) = th.pending.pop_front() {
+                    self.push_op(&mut th, op);
+                }
                 vec![th]
             }
             Skel::Let { var, value, .. } => {
@@ -2328,13 +2439,7 @@ pub fn gen_traces(
         target_memo: BTreeMap::new(),
     };
     let skel = g.summary(ni).skeleton.clone();
-    let th0 = Th {
-        ops: Vec::new(),
-        env: BTreeMap::new(),
-        decs: Vec::new(),
-        occ: BTreeMap::new(),
-        flow: Flow::Normal,
-    };
+    let th0 = Th::default();
     let mut stack = vec![ni];
     let ths = gen.exec_node(&skel, th0, ni, &mut stack, false);
     let mut traces: Vec<Trace> = Vec::new();
@@ -2725,6 +2830,8 @@ mod tests {
             Skel::Coll { kind, .. } => out.push(kind.clone()),
             Skel::Send { .. } => out.push("send".into()),
             Skel::Recv { .. } => out.push("recv".into()),
+            Skel::Post { kind, .. } => out.push(format!("post:{kind}")),
+            Skel::Wait { .. } => out.push("wait".into()),
             Skel::If { then, els, .. } => {
                 op_kinds(then, out);
                 op_kinds(els, out);
@@ -2934,6 +3041,7 @@ mod tests {
             "fn f(comm: &C) {\n    let rank = comm.rank();\n    let mut mask = 1;\n    while mask < p {\n        if rank & mask != 0 {\n            comm.send(rank - mask, b);\n            break;\n        }\n        mask <<= 1;\n    }\n}\n",
             "fn f(c: &C) {\n    match c.rank() {\n        0 => c.broadcast(0, b),\n        _ => { let q = c.recv(0); }\n    }\n}\n",
             "fn f(c: &C) {\n    for i in 0..=7 { c.barrier(); }\n    for (a, b) in it { c.send(a, x); }\n    loop { if done { break; } }\n}\n",
+            "fn f(c: &C) {\n    let req = c.iallreduce_sum(buf);\n    c.isend(1, buf).wait();\n    let r = c.irecv(0);\n    let g = req.wait();\n    let q = r.wait();\n}\n",
         ] {
             let s = skel_of(src);
             let w = to_wire(&s);
@@ -3005,6 +3113,91 @@ mod tests {
         )]);
         let v = check_entry(&g, &f, node(&g, "tsqr_dist"));
         assert_eq!(v, Verdict::Clean);
+    }
+
+    #[test]
+    fn extraction_captures_posts_and_waits() {
+        let s = skel_of(
+            "fn f(comm: &C) {\n    let req = comm.iallreduce_sum(buf);\n    comm.isend(1, b).wait();\n    let r = comm.irecv(0);\n    let g = req.wait();\n    let q = r.wait();\n    let done = req.test();\n}\n",
+        );
+        assert_eq!(
+            kinds(&s),
+            vec![
+                "post:iallreduce_sum",
+                "post:isend",
+                "wait",
+                "post:irecv",
+                "wait",
+                "wait",
+                "wait"
+            ]
+        );
+    }
+
+    #[test]
+    fn argful_wait_is_not_a_request_wait() {
+        // `Condvar::wait(guard)` takes an argument: generic call, not Wait.
+        let s = skel_of("fn f(c: &C) {\n    cv.wait(guard);\n}\n");
+        assert_eq!(kinds(&s), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pipelined_allreduce_chain_verifies_clean() {
+        // Two posts in flight, waits in post order, closing broadcast: the
+        // deferred rendezvous must line up across ranks at every checked p.
+        let (g, f) = graph_of(&[(
+            "a.rs",
+            "pub fn pipeline_dist(comm: &C) {\n    let first = comm.iallreduce_sum(buf);\n    let second = comm.iallreduce_sum(buf);\n    let g0 = first.wait();\n    let g1 = second.wait();\n    comm.broadcast(0, b);\n}\n",
+        )]);
+        let v = check_entry(&g, &f, node(&g, "pipeline_dist"));
+        assert_eq!(v, Verdict::Clean);
+    }
+
+    #[test]
+    fn preposted_irecv_ring_is_clean() {
+        // The blocking version of this ring (recv posted first on every
+        // rank) is the canonical deadlock; pre-posting the receive as an
+        // irecv and waiting it *after* the eager isend must verify clean —
+        // the whole point of modeling post/wait as deferred rendezvous.
+        let (g, f) = graph_of(&[(
+            "a.rs",
+            "pub fn ring_dist(comm: &C) {\n    let rank = comm.rank();\n    let p = comm.size();\n    let inbound = comm.irecv((rank + p - 1) % p);\n    comm.isend((rank + 1) % p, buf).wait();\n    let got = inbound.wait();\n}\n",
+        )]);
+        let v = check_entry(&g, &f, node(&g, "ring_dist"));
+        assert_eq!(v, Verdict::Clean);
+    }
+
+    #[test]
+    fn waited_irecv_before_isend_is_deadlock() {
+        // Waiting the irecv before anyone isends reconstructs the blocking
+        // recv-recv cycle: the deferred Recv is emitted at the early wait
+        // site, before any Send exists.
+        let (g, f) = graph_of(&[(
+            "a.rs",
+            "pub fn eager_wait_dist(comm: &C) {\n    let rank = comm.rank();\n    let req = comm.irecv(rank ^ 1);\n    let got = req.wait();\n    comm.isend(rank ^ 1, got).wait();\n}\n",
+        )]);
+        let v = check_entry(&g, &f, node(&g, "eager_wait_dist"));
+        assert!(
+            matches!(v, Verdict::Deadlock { p: 2, .. }),
+            "irecv waited before the matching isend must deadlock: {v:?}"
+        );
+    }
+
+    #[test]
+    fn blocking_vs_nonblocking_allreduce_mismatch_is_flagged() {
+        // The runtime routes i-collectives over a separate channel from the
+        // blocking tree, so rank 0 posting `iallreduce_sum` against rank 1's
+        // blocking `allreduce_sum` hangs — the model must agree (distinct
+        // rendezvous kinds never match).
+        let (g, f) = graph_of(&[(
+            "a.rs",
+            "pub fn mixed_dist(comm: &C) {\n    let rank = comm.rank();\n    if rank == 0 {\n        let r = comm.iallreduce_sum(buf);\n        let g = r.wait();\n    } else {\n        comm.allreduce_sum(buf);\n    }\n}\n",
+        )]);
+        let v = check_entry(&g, &f, node(&g, "mixed_dist"));
+        assert!(
+            matches!(v, Verdict::Deadlock { .. }),
+            "kind mismatch across the rendezvous must be flagged: {v:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Fixture: `request_pairing` fires on nonblocking posts whose `Request`
+//! handle is dropped or never retired.
+
+fn post_and_forget(comm: &C) {
+    comm.iallreduce_sum(buf);
+    comm.barrier();
+}
+
+fn bound_but_never_waited(comm: &C) {
+    let req = comm.irecv(1);
+    comm.allreduce_sum(x);
+}
+
+fn chained_into_wrong_method(comm: &C) -> usize {
+    comm.isend(1, buf).len()
+}
+
+fn well_paired(comm: &C, reqs: &mut Vec<R>) {
+    let req = comm.iallreduce_sum(buf);
+    let out = req.wait();
+    comm.isend(0, out).wait();
+    reqs.push(comm.irecv(0));
+    comm.iallreduce_sum(buf).detach();
+}

@@ -1,0 +1,25 @@
+//! Clean nonblocking fixtures: the deferred-rendezvous model must verify
+//! both pipelined shapes the rounding sweeps use.
+//!
+//! * `gram_pipeline_dist` — two collectives posted back to back, waited in
+//!   post order, closing broadcast: the overlap schedule of the Gram sweep.
+//! * `ring_prepost_dist` — the neighbor ring whose *blocking* form (recv
+//!   first on every rank) is the canonical deadlock in deadlock_fires.rs;
+//!   pre-posting the receive and waiting it after the eager isend is the
+//!   legal pipelined variant and must stay silent.
+
+pub fn gram_pipeline_dist(comm: &Communicator, buf: f64) {
+    let first = comm.iallreduce_sum(buf);
+    let second = comm.iallreduce_sum(buf);
+    let g0 = first.wait();
+    let g1 = second.wait();
+    comm.broadcast(0, g1);
+}
+
+pub fn ring_prepost_dist(comm: &Communicator, buf: f64) -> f64 {
+    let rank = comm.rank();
+    let p = comm.size();
+    let inbound = comm.irecv((rank + p - 1) % p);
+    comm.isend((rank + 1) % p, buf).wait();
+    inbound.wait()
+}

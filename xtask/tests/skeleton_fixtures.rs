@@ -113,6 +113,15 @@ fn clean_tsqr_tree_and_peer_halves_are_silent() {
 }
 
 #[test]
+fn clean_pipelined_post_wait_shapes_are_silent() {
+    // Deferred rendezvous: the pipelined Gram chain and the preposted-irecv
+    // ring (whose blocking twin is the deadlock_fires.rs finding) must pass
+    // both the bounded interleaving and the request_pairing lexical check.
+    let report = run_corpus();
+    assert_eq!(diags_for(&report, "clean_pipelined.rs"), vec![]);
+}
+
+#[test]
 fn skeleton_pass_suppressions_are_consumed_and_unused_reported() {
     let report = run_corpus();
     assert_eq!(diags_for(&report, "suppressed.rs"), vec![]);
